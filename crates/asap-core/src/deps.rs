@@ -1,0 +1,250 @@
+//! The global epoch-dependency DAG (paper Fig. 7, §VI-A).
+//!
+//! Epochs are nodes; edges point from an epoch to the epochs it depends
+//! on: its predecessor on the same thread (intra-thread persist-barrier
+//! order) and at most one cross-thread source epoch. The paper's
+//! Lemma 0.1 argues this graph is acyclic because both endpoints of a
+//! cross dependency start *new* epochs when the dependency is created;
+//! [`DepGraph::topological_order`] machine-checks that on every graph we
+//! build (Theorem 1's existence of a safe epoch follows from it).
+//!
+//! The graph also records which epochs committed before a crash, which the
+//! [`oracle`](crate::oracle) needs to verify Lemma 1.1 (committed epochs
+//! are durable).
+
+use asap_sim_core::{EpochId, ThreadId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// The epoch dependency graph of one simulation run.
+///
+/// # Example
+///
+/// ```
+/// use asap_core::DepGraph;
+/// use asap_sim_core::{EpochId, ThreadId};
+///
+/// let mut g = DepGraph::new();
+/// let a = EpochId::new(ThreadId(0), 0);
+/// let b = EpochId::new(ThreadId(1), 0);
+/// g.ensure(a);
+/// g.ensure(b);
+/// g.add_cross_dep(b, a); // b depends on a
+/// assert!(g.transitive_deps(b).contains(&a));
+/// assert!(g.topological_order().is_some()); // acyclic
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DepGraph {
+    /// epoch -> epochs it depends on (cross-thread only; intra-thread
+    /// edges are implicit in the timestamp order and added on demand).
+    cross: HashMap<EpochId, Vec<EpochId>>,
+    /// All epochs ever seen, per thread, as the maximum timestamp.
+    max_ts: HashMap<ThreadId, u64>,
+    committed: HashSet<EpochId>,
+    nodes: HashSet<EpochId>,
+}
+
+impl DepGraph {
+    /// Create an empty graph.
+    pub fn new() -> DepGraph {
+        DepGraph::default()
+    }
+
+    /// Register an epoch as existing.
+    pub fn ensure(&mut self, e: EpochId) {
+        if self.nodes.insert(e) {
+            let m = self.max_ts.entry(e.thread).or_insert(e.ts);
+            if e.ts > *m {
+                *m = e.ts;
+            }
+        }
+    }
+
+    /// Record that `dependent` must persist after `source` (cross-thread
+    /// dependency from coherence / acquire-release).
+    pub fn add_cross_dep(&mut self, dependent: EpochId, source: EpochId) {
+        self.ensure(dependent);
+        self.ensure(source);
+        self.cross.entry(dependent).or_default().push(source);
+    }
+
+    /// Mark an epoch committed.
+    pub fn mark_committed(&mut self, e: EpochId) {
+        self.ensure(e);
+        self.committed.insert(e);
+    }
+
+    /// Whether an epoch committed before the end of the run.
+    pub fn is_committed(&self, e: EpochId) -> bool {
+        self.committed.contains(&e)
+    }
+
+    /// All committed epochs.
+    pub fn committed(&self) -> impl Iterator<Item = &EpochId> {
+        self.committed.iter()
+    }
+
+    /// Number of registered epochs.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Direct dependencies of `e`: its same-thread predecessor (if any)
+    /// plus recorded cross dependencies.
+    pub fn direct_deps(&self, e: EpochId) -> Vec<EpochId> {
+        let mut out = Vec::new();
+        if e.ts > 0 {
+            out.push(EpochId::new(e.thread, e.ts - 1));
+        }
+        if let Some(cs) = self.cross.get(&e) {
+            out.extend(cs.iter().copied());
+        }
+        out
+    }
+
+    /// The transitive closure of [`direct_deps`](Self::direct_deps).
+    pub fn transitive_deps(&self, e: EpochId) -> HashSet<EpochId> {
+        let mut seen = HashSet::new();
+        let mut queue: VecDeque<EpochId> = self.direct_deps(e).into();
+        while let Some(d) = queue.pop_front() {
+            if seen.insert(d) {
+                queue.extend(self.direct_deps(d));
+            }
+        }
+        seen
+    }
+
+    /// All nodes reachable as dependencies plus registered nodes.
+    fn all_nodes(&self) -> HashSet<EpochId> {
+        let mut nodes = self.nodes.clone();
+        // Intra-thread predecessors of registered nodes (ts gaps cannot
+        // occur, but be permissive).
+        for (&t, &m) in &self.max_ts {
+            for ts in 0..=m {
+                nodes.insert(EpochId::new(t, ts));
+            }
+        }
+        nodes
+    }
+
+    /// Kahn's algorithm: returns a topological order, or `None` if the
+    /// graph has a cycle (which would falsify the paper's Lemma 0.1 and
+    /// indicate a protocol bug).
+    pub fn topological_order(&self) -> Option<Vec<EpochId>> {
+        let nodes = self.all_nodes();
+        let mut indegree: HashMap<EpochId, usize> =
+            nodes.iter().map(|&n| (n, 0)).collect();
+        let mut forward: HashMap<EpochId, Vec<EpochId>> = HashMap::new();
+        for &n in &nodes {
+            for d in self.direct_deps(n) {
+                if nodes.contains(&d) {
+                    *indegree.get_mut(&n).expect("node present") += 1;
+                    forward.entry(d).or_default().push(n);
+                }
+            }
+        }
+        let mut ready: VecDeque<EpochId> = indegree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut order = Vec::with_capacity(nodes.len());
+        while let Some(n) = ready.pop_front() {
+            order.push(n);
+            for &succ in forward.get(&n).map(Vec::as_slice).unwrap_or(&[]) {
+                let d = indegree.get_mut(&succ).expect("node present");
+                *d -= 1;
+                if *d == 0 {
+                    ready.push_back(succ);
+                }
+            }
+        }
+        (order.len() == nodes.len()).then_some(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(t: usize, ts: u64) -> EpochId {
+        EpochId::new(ThreadId(t), ts)
+    }
+
+    #[test]
+    fn intra_thread_deps_are_implicit() {
+        let mut g = DepGraph::new();
+        g.ensure(ep(0, 2));
+        let deps = g.direct_deps(ep(0, 2));
+        assert_eq!(deps, vec![ep(0, 1)]);
+        let trans = g.transitive_deps(ep(0, 2));
+        assert!(trans.contains(&ep(0, 1)));
+        assert!(trans.contains(&ep(0, 0)));
+        assert_eq!(trans.len(), 2);
+    }
+
+    #[test]
+    fn cross_deps_compose_transitively() {
+        let mut g = DepGraph::new();
+        g.add_cross_dep(ep(1, 1), ep(0, 3));
+        let trans = g.transitive_deps(ep(1, 1));
+        assert!(trans.contains(&ep(0, 3)));
+        assert!(trans.contains(&ep(0, 0)));
+        assert!(trans.contains(&ep(1, 0)));
+        assert!(!trans.contains(&ep(1, 1))); // not its own dep
+    }
+
+    #[test]
+    fn committed_tracking() {
+        let mut g = DepGraph::new();
+        g.mark_committed(ep(0, 0));
+        assert!(g.is_committed(ep(0, 0)));
+        assert!(!g.is_committed(ep(0, 1)));
+        assert_eq!(g.committed().count(), 1);
+    }
+
+    #[test]
+    fn topological_order_exists_for_dag() {
+        let mut g = DepGraph::new();
+        // The Fig. 7 shape: cross deps between threads both directions,
+        // but on *different* epochs — acyclic.
+        g.add_cross_dep(ep(1, 1), ep(0, 0));
+        g.add_cross_dep(ep(0, 2), ep(1, 1));
+        let order = g.topological_order().expect("acyclic");
+        let pos = |e: EpochId| order.iter().position(|&x| x == e).unwrap();
+        assert!(pos(ep(0, 0)) < pos(ep(1, 1)));
+        assert!(pos(ep(1, 1)) < pos(ep(0, 2)));
+        assert!(pos(ep(0, 0)) < pos(ep(0, 2)));
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut g = DepGraph::new();
+        // A hand-constructed violation of the epoch-splitting rule: two
+        // epochs depending on each other.
+        g.add_cross_dep(ep(0, 0), ep(1, 0));
+        g.add_cross_dep(ep(1, 0), ep(0, 0));
+        assert!(g.topological_order().is_none());
+    }
+
+    #[test]
+    fn first_epochs_have_no_deps() {
+        let mut g = DepGraph::new();
+        g.ensure(ep(3, 0));
+        assert!(g.direct_deps(ep(3, 0)).is_empty());
+        assert!(g.transitive_deps(ep(3, 0)).is_empty());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut g = DepGraph::new();
+        assert!(g.is_empty());
+        g.ensure(ep(0, 0));
+        g.ensure(ep(0, 0));
+        assert_eq!(g.len(), 1);
+    }
+}

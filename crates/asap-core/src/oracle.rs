@@ -1,0 +1,328 @@
+//! Machine-checked recovery correctness (paper §VI).
+//!
+//! The paper proves two theorems on paper; we check them on every
+//! simulated crash:
+//!
+//! * **Theorem 1 (forward progress)** is checked operationally — the
+//!   simulator panics on deadlock — and structurally: the epoch
+//!   dependency graph must admit a topological order (Lemma 0.1).
+//! * **Theorem 2 (recovery consistency)** is checked against the write
+//!   journal. After the crash drain (WPQ flush + undo application), the
+//!   recovered NVM image must satisfy:
+//!
+//!   1. **Value integrity** — every line's contents equal the journaled
+//!      snapshot of the write that owns it (no Fig. 5-style lost
+//!      updates).
+//!   2. **Prefix closure / durability** — let `V` be the epochs owning at
+//!      least one recovered line and `C` the epochs that committed before
+//!      the crash. For every epoch in `V ∪ C` and every epoch `e'` it
+//!      transitively depends on, *all* of `e'`'s journaled writes must
+//!      have survived: for each line `e'` wrote, the recovered owner
+//!      sequence must be at least `e'`'s last write to that line
+//!      (i.e. the write persisted, or was overwritten by a persisted
+//!      newer write — which leaves the same final state). `C ⊆` durable
+//!      is exactly Lemma 1.1; the dependency closure is the §IV-B
+//!      ordering guarantee.
+
+use crate::deps::DepGraph;
+use asap_pm_mem::{NvmImage, WriteJournal};
+use asap_sim_core::{EpochId, LineAddr};
+use std::collections::{HashMap, HashSet};
+
+/// Result of a crash-consistency check.
+#[derive(Debug, Clone, Default)]
+pub struct CrashReport {
+    /// Human-readable descriptions of every violation found (empty ⇒
+    /// consistent).
+    pub violations: Vec<String>,
+    /// Undo records applied during the crash drain.
+    pub undo_records_applied: usize,
+    /// Lines inspected in the recovered image.
+    pub lines_checked: usize,
+    /// Distinct epochs with at least one surviving write.
+    pub epochs_visible: usize,
+    /// Epochs committed before the crash.
+    pub epochs_committed: usize,
+}
+
+impl CrashReport {
+    /// Whether the recovered state satisfied every check.
+    pub fn is_consistent(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Check a recovered NVM image against the write journal and dependency
+/// graph. See the module docs for the properties verified.
+pub fn check(journal: &WriteJournal, deps: &DepGraph, nvm: &NvmImage) -> CrashReport {
+    let mut report = CrashReport {
+        epochs_committed: deps.committed().count(),
+        ..CrashReport::default()
+    };
+
+    // Lemma 0.1: the dependency graph must be acyclic.
+    if deps.topological_order().is_none() {
+        report
+            .violations
+            .push("epoch dependency graph contains a cycle (Lemma 0.1 violated)".to_string());
+    }
+
+    // Per-epoch write sets: epoch -> line -> last (max-seq) write.
+    let mut epoch_writes: HashMap<EpochId, HashMap<LineAddr, u64>> = HashMap::new();
+    for e in journal.entries() {
+        let Some(epoch) = e.epoch else {
+            continue; // never executed: no durability obligation
+        };
+        let m = epoch_writes.entry(epoch).or_default();
+        let s = m.entry(e.line).or_insert(e.seq.0);
+        if e.seq.0 > *s {
+            *s = e.seq.0;
+        }
+    }
+
+    // Check 1: value integrity of every recovered line.
+    let mut visible: HashSet<EpochId> = HashSet::new();
+    for (&line, rec) in nvm.iter() {
+        report.lines_checked += 1;
+        match rec.seq {
+            Some(seq) => {
+                let Some(entry) = journal.get(asap_pm_mem::WriteSeq(seq)) else {
+                    report.violations.push(format!(
+                        "line {line}: owner seq {seq} not in journal"
+                    ));
+                    continue;
+                };
+                if entry.line != line {
+                    report.violations.push(format!(
+                        "line {line}: owner seq {seq} journaled for different line {}",
+                        entry.line
+                    ));
+                    continue;
+                }
+                if entry.data != rec.data {
+                    report.violations.push(format!(
+                        "line {line}: recovered bytes differ from journaled write seq {seq} \
+                         (Fig. 5-style lost update?)"
+                    ));
+                }
+                if let Some(e) = rec.epoch {
+                    visible.insert(e);
+                }
+            }
+            None => {
+                // Restored to the pre-journal (never-persisted) state:
+                // must be all zeros, unless the line was part of the
+                // initial pool contents (structure setup).
+                if !nvm.is_preinit(line) && rec.data.iter().any(|&b| b != 0) {
+                    report.violations.push(format!(
+                        "line {line}: untagged recovered line is non-zero"
+                    ));
+                }
+            }
+        }
+    }
+    report.epochs_visible = visible.len();
+
+    // Check 2: prefix closure + committed durability.
+    let mut obligated: HashSet<EpochId> = HashSet::new();
+    for &e in visible.iter() {
+        obligated.extend(deps.transitive_deps(e));
+    }
+    for &e in deps.committed().collect::<Vec<_>>() {
+        obligated.insert(e);
+        obligated.extend(deps.transitive_deps(e));
+    }
+    for e in obligated {
+        let Some(writes) = epoch_writes.get(&e) else {
+            continue; // epoch issued no executed writes
+        };
+        for (&line, &max_seq) in writes {
+            let rec = nvm.line(line);
+            let surviving = rec.seq.is_some_and(|s| s >= max_seq);
+            if !surviving {
+                let why = if deps.is_committed(e) {
+                    "committed epoch lost a write (Lemma 1.1 violated)"
+                } else {
+                    "dependency of a visible epoch lost a write (ordering violated)"
+                };
+                report.violations.push(format!(
+                    "epoch {e}: write seq {max_seq} to {line} did not survive \
+                     (recovered owner seq {:?}): {why}",
+                    rec.seq
+                ));
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_pm_mem::WriteSeq;
+    use asap_sim_core::ThreadId;
+
+    fn ep(t: usize, ts: u64) -> EpochId {
+        EpochId::new(ThreadId(t), ts)
+    }
+
+    fn la(i: u64) -> LineAddr {
+        LineAddr::containing(i * 64)
+    }
+
+    fn snap(b: u8) -> [u8; 64] {
+        [b; 64]
+    }
+
+    /// Build a journal with epochs already assigned.
+    fn journal(entries: &[(usize, u64, u64, u8)]) -> WriteJournal {
+        // (thread, epoch_ts, line_idx, value)
+        let mut j = WriteJournal::enabled();
+        for &(t, ts, line, v) in entries {
+            let s = j.record(la(line), snap(v));
+            j.assign_epoch(s, ep(t, ts));
+        }
+        j
+    }
+
+    #[test]
+    fn empty_state_is_consistent() {
+        let j = WriteJournal::enabled();
+        let g = DepGraph::new();
+        let nvm = NvmImage::new();
+        let r = check(&j, &g, &nvm);
+        assert!(r.is_consistent(), "{:?}", r.violations);
+        assert_eq!(r.lines_checked, 0);
+    }
+
+    #[test]
+    fn fully_persisted_run_is_consistent() {
+        let j = journal(&[(0, 0, 1, 5), (0, 1, 2, 6)]);
+        let mut g = DepGraph::new();
+        g.mark_committed(ep(0, 0));
+        g.mark_committed(ep(0, 1));
+        let mut nvm = NvmImage::new();
+        nvm.persist(la(1), snap(5), Some(0), Some(ep(0, 0)));
+        nvm.persist(la(2), snap(6), Some(1), Some(ep(0, 1)));
+        let r = check(&j, &g, &nvm);
+        assert!(r.is_consistent(), "{:?}", r.violations);
+        assert_eq!(r.epochs_visible, 2);
+    }
+
+    #[test]
+    fn detects_value_corruption() {
+        let j = journal(&[(0, 0, 1, 5)]);
+        let g = DepGraph::new();
+        let mut nvm = NvmImage::new();
+        nvm.persist(la(1), snap(9), Some(0), Some(ep(0, 0))); // wrong bytes
+        let r = check(&j, &g, &nvm);
+        assert!(!r.is_consistent());
+        assert!(r.violations[0].contains("differ"));
+    }
+
+    #[test]
+    fn detects_prefix_violation() {
+        // Epoch (0,1) visible but its predecessor (0,0) wrote line 1 and
+        // that write is missing from NVM.
+        let j = journal(&[(0, 0, 1, 5), (0, 1, 2, 6)]);
+        let g = {
+            let mut g = DepGraph::new();
+            g.ensure(ep(0, 1));
+            g
+        };
+        let mut nvm = NvmImage::new();
+        nvm.persist(la(2), snap(6), Some(1), Some(ep(0, 1)));
+        let r = check(&j, &g, &nvm);
+        assert!(!r.is_consistent());
+        assert!(r.violations[0].contains("ordering violated"));
+    }
+
+    #[test]
+    fn detects_lost_committed_write() {
+        let j = journal(&[(0, 0, 1, 5)]);
+        let mut g = DepGraph::new();
+        g.mark_committed(ep(0, 0));
+        let nvm = NvmImage::new(); // nothing persisted!
+        let r = check(&j, &g, &nvm);
+        assert!(!r.is_consistent());
+        assert!(r.violations[0].contains("Lemma 1.1"));
+    }
+
+    #[test]
+    fn overwritten_dependency_write_is_fine() {
+        // (0,0) wrote line 1 seq 0; (1,0) overwrote line 1 seq 1 and is
+        // visible; (1,0) depends on (0,0). Owner seq 1 >= 0: consistent.
+        let mut j = WriteJournal::enabled();
+        let s0 = j.record(la(1), snap(5));
+        j.assign_epoch(s0, ep(0, 0));
+        let s1 = j.record(la(1), snap(7));
+        j.assign_epoch(s1, ep(1, 0));
+        let mut g = DepGraph::new();
+        g.add_cross_dep(ep(1, 0), ep(0, 0));
+        let mut nvm = NvmImage::new();
+        nvm.persist(la(1), snap(7), Some(1), Some(ep(1, 0)));
+        let r = check(&j, &g, &nvm);
+        assert!(r.is_consistent(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn cross_thread_dependency_violation_detected() {
+        // (1,1) depends on (0,0); (1,1)'s write survived, (0,0)'s did not.
+        let j = journal(&[(0, 0, 1, 5), (1, 1, 2, 6)]);
+        let mut g = DepGraph::new();
+        g.add_cross_dep(ep(1, 1), ep(0, 0));
+        let mut nvm = NvmImage::new();
+        nvm.persist(la(2), snap(6), Some(1), Some(ep(1, 1)));
+        let r = check(&j, &g, &nvm);
+        assert!(!r.is_consistent());
+    }
+
+    #[test]
+    fn unexecuted_journal_entries_carry_no_obligation() {
+        let mut j = WriteJournal::enabled();
+        j.record(la(1), snap(5)); // epoch never assigned (still in burst)
+        let mut g = DepGraph::new();
+        g.mark_committed(ep(0, 0));
+        let nvm = NvmImage::new();
+        let r = check(&j, &g, &nvm);
+        assert!(r.is_consistent(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn untagged_nonzero_line_flagged() {
+        let j = WriteJournal::enabled();
+        let g = DepGraph::new();
+        let mut nvm = NvmImage::new();
+        nvm.persist(la(3), snap(1), None, None);
+        let r = check(&j, &g, &nvm);
+        assert!(!r.is_consistent());
+        assert!(r.violations[0].contains("non-zero"));
+    }
+
+    #[test]
+    fn cycle_flagged() {
+        let j = WriteJournal::enabled();
+        let mut g = DepGraph::new();
+        g.add_cross_dep(ep(0, 0), ep(1, 0));
+        g.add_cross_dep(ep(1, 0), ep(0, 0));
+        let nvm = NvmImage::new();
+        let r = check(&j, &g, &nvm);
+        assert!(!r.is_consistent());
+        assert!(r.violations[0].contains("cycle"));
+    }
+
+    #[test]
+    fn report_accessors() {
+        let j = journal(&[(0, 0, 1, 5)]);
+        let mut g = DepGraph::new();
+        g.mark_committed(ep(0, 0));
+        let mut nvm = NvmImage::new();
+        nvm.persist(la(1), snap(5), Some(0), Some(ep(0, 0)));
+        let r = check(&j, &g, &nvm);
+        assert_eq!(r.lines_checked, 1);
+        assert_eq!(r.epochs_visible, 1);
+        assert_eq!(r.epochs_committed, 1);
+        let _ = WriteSeq(0); // silence unused import in some cfgs
+    }
+}

@@ -1,0 +1,382 @@
+//! Persist buffers (paper §V-A, Fig. 6).
+//!
+//! Per-core circular buffers alongside the private caches. Stores to NVM
+//! are enqueued here at retirement and flushed to the memory controllers
+//! in the background. Entries coalesce same-line stores *within an epoch*;
+//! the same line written in different epochs occupies separate entries
+//! (their relative persist semantics differ).
+//!
+//! The flush *policy* — conservative (HOPS) versus eager with early bits
+//! (ASAP) — lives in the simulator; the buffer itself only tracks entry
+//! state and answers "what could be flushed next".
+
+use asap_pm_mem::LineSnapshot;
+use asap_sim_core::{EpochId, LineAddr};
+use std::collections::VecDeque;
+
+/// Lifecycle of one persist-buffer entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PbEntryState {
+    /// Waiting to be issued to a memory controller.
+    Waiting,
+    /// Flush packet in flight (issued, not yet acked).
+    Inflight,
+    /// Flush was NACKed (full recovery table); waits until its epoch is
+    /// safe, then retries as a *safe* flush.
+    Nacked,
+}
+
+/// One buffered write.
+#[derive(Debug, Clone)]
+pub struct PbEntry {
+    /// Stable id used to match acks to entries.
+    pub id: u64,
+    /// Target line.
+    pub line: LineAddr,
+    /// Line contents to flush (latest coalesced value).
+    pub data: Box<LineSnapshot>,
+    /// Journal sequence of the newest store coalesced in.
+    pub seq: u64,
+    /// Epoch the write belongs to.
+    pub epoch: EpochId,
+    /// Current state.
+    pub state: PbEntryState,
+}
+
+/// A per-core persist buffer.
+///
+/// # Example
+///
+/// ```
+/// use asap_core::PersistBuffer;
+/// use asap_sim_core::{EpochId, LineAddr, ThreadId};
+///
+/// let mut pb = PersistBuffer::new(32);
+/// let e = EpochId::new(ThreadId(0), 0);
+/// pb.enqueue(LineAddr::containing(0x40), Box::new([0u8; 64]), 1, e)
+///     .expect("space available");
+/// assert_eq!(pb.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PersistBuffer {
+    entries: VecDeque<PbEntry>,
+    capacity: usize,
+    next_id: u64,
+    coalesced: u64,
+    /// Monotone count of entries fully flushed (acked) — the "tail index"
+    /// the write-back buffer compares against (§V-F).
+    flushed_count: u64,
+}
+
+impl PersistBuffer {
+    /// Create a buffer with `capacity` entries (Table II: 32).
+    pub fn new(capacity: usize) -> PersistBuffer {
+        PersistBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            next_id: 0,
+            coalesced: 0,
+            flushed_count: 0,
+        }
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the buffer is full (the incoming store must stall the
+    /// core, §VI-A).
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Stores absorbed by intra-epoch coalescing.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced
+    }
+
+    /// Monotone count of acked (removed) entries.
+    pub fn flushed_count(&self) -> u64 {
+        self.flushed_count
+    }
+
+    /// Enqueue a store. Returns `Ok(true)` if a new entry was allocated,
+    /// `Ok(false)` if it coalesced into an existing same-line same-epoch
+    /// entry that had not been issued yet, and `Err(data)` (handing the
+    /// payload back) if the buffer is full — the caller stalls the core
+    /// and retries.
+    pub fn enqueue(
+        &mut self,
+        line: LineAddr,
+        data: Box<LineSnapshot>,
+        seq: u64,
+        epoch: EpochId,
+    ) -> Result<bool, Box<LineSnapshot>> {
+        if let Some(e) = self.entries.iter_mut().rev().find(|e| {
+            e.line == line && e.epoch == epoch && e.state == PbEntryState::Waiting
+        }) {
+            e.data = data;
+            e.seq = seq;
+            self.coalesced += 1;
+            return Ok(false);
+        }
+        if self.is_full() {
+            return Err(data);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.entries.push_back(PbEntry {
+            id,
+            line,
+            data,
+            seq,
+            epoch,
+            state: PbEntryState::Waiting,
+        });
+        Ok(true)
+    }
+
+    /// The oldest entry in `Waiting` state whose epoch satisfies
+    /// `eligible`, if any. Entries are considered oldest-first.
+    ///
+    /// `strict_lines` selects the same-address policy:
+    ///
+    /// * `true` (conservative designs — HOPS, or ASAP in NACK fallback):
+    ///   any older same-line entry blocks a younger one, so the PB never
+    ///   reorders its own writes to one address. Without recovery tables
+    ///   this is what preserves strong persist atomicity.
+    /// * `false` (ASAP eager mode): same-line entries in *different*
+    ///   epochs may flush concurrently/out of order — the memory
+    ///   controller's undo/delay records re-order them (§IV-F's write
+    ///   collision machinery works for one thread's writes too). Only an
+    ///   older same-line entry of the *same epoch* or one awaiting a
+    ///   NACK retry still blocks.
+    pub fn next_flushable<F>(&self, eligible: F, strict_lines: bool) -> Option<&PbEntry>
+    where
+        F: Fn(EpochId) -> bool,
+    {
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.state != PbEntryState::Waiting || !eligible(e.epoch) {
+                continue;
+            }
+            let blocked = self.entries.iter().take(i).any(|older| {
+                older.line == e.line
+                    && (strict_lines
+                        || older.epoch == e.epoch
+                        || older.state == PbEntryState::Nacked)
+            });
+            if !blocked {
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    /// Whether any entry could make progress under `eligible` — used for
+    /// "PB blocked" accounting (Figure 3).
+    pub fn has_flushable<F>(&self, eligible: F, strict_lines: bool) -> bool
+    where
+        F: Fn(EpochId) -> bool,
+    {
+        self.next_flushable(eligible, strict_lines).is_some()
+    }
+
+    /// Whether any entry is waiting to be issued (as opposed to already
+    /// in flight): distinguishes *ordering-blocked* from merely
+    /// *bandwidth-limited* buffers in the Figure 3 accounting.
+    pub fn has_waiting(&self) -> bool {
+        self.entries.iter().any(|e| e.state == PbEntryState::Waiting)
+    }
+
+    /// Mark entry `id` as issued (in flight).
+    pub fn mark_inflight(&mut self, id: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.id == id) {
+            debug_assert_ne!(e.state, PbEntryState::Inflight);
+            e.state = PbEntryState::Inflight;
+        }
+    }
+
+    /// Mark entry `id` as NACKed: it returns to the buffer awaiting a
+    /// safe retry.
+    pub fn mark_nacked(&mut self, id: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.id == id) {
+            e.state = PbEntryState::Nacked;
+        }
+    }
+
+    /// Requeue all NACKed entries of epochs accepted by `now_safe` back to
+    /// `Waiting` (retried as safe flushes). Returns how many were woken.
+    pub fn wake_nacked<F>(&mut self, now_safe: F) -> usize
+    where
+        F: Fn(EpochId) -> bool,
+    {
+        let mut woken = 0;
+        for e in self.entries.iter_mut() {
+            if e.state == PbEntryState::Nacked && now_safe(e.epoch) {
+                e.state = PbEntryState::Waiting;
+                woken += 1;
+            }
+        }
+        woken
+    }
+
+    /// Remove an acked entry; returns it (the caller updates the epoch
+    /// table). Advances the flushed counter for WBB bookkeeping.
+    pub fn ack(&mut self, id: u64) -> Option<PbEntry> {
+        let pos = self.entries.iter().position(|e| e.id == id)?;
+        self.flushed_count += 1;
+        self.entries.remove(pos)
+    }
+
+    /// Look up an entry by id.
+    pub fn get(&self, id: u64) -> Option<&PbEntry> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    /// Whether the buffer holds data for `line` (load forwarding / LLC
+    /// eviction checks).
+    pub fn holds_line(&self, line: LineAddr) -> bool {
+        self.entries.iter().any(|e| e.line == line)
+    }
+
+    /// Iterate over entries oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &PbEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_sim_core::ThreadId;
+
+    fn la(i: u64) -> LineAddr {
+        LineAddr::containing(i * 64)
+    }
+
+    fn ep(ts: u64) -> EpochId {
+        EpochId::new(ThreadId(0), ts)
+    }
+
+    fn data(b: u8) -> Box<LineSnapshot> {
+        Box::new([b; 64])
+    }
+
+    #[test]
+    fn enqueue_and_fill() {
+        let mut pb = PersistBuffer::new(2);
+        assert_eq!(pb.enqueue(la(0), data(1), 0, ep(0)), Ok(true));
+        assert_eq!(pb.enqueue(la(1), data(2), 1, ep(0)), Ok(true));
+        assert!(pb.is_full());
+        let err = pb.enqueue(la(2), data(3), 2, ep(0)).unwrap_err();
+        assert_eq!(err[0], 3); // payload handed back
+    }
+
+    #[test]
+    fn same_line_same_epoch_coalesces() {
+        let mut pb = PersistBuffer::new(4);
+        pb.enqueue(la(0), data(1), 0, ep(0)).unwrap();
+        assert_eq!(pb.enqueue(la(0), data(9), 3, ep(0)), Ok(false));
+        assert_eq!(pb.len(), 1);
+        assert_eq!(pb.coalesced(), 1);
+        let e = pb.iter().next().unwrap();
+        assert_eq!(e.seq, 3);
+        assert_eq!(e.data[0], 9);
+    }
+
+    #[test]
+    fn same_line_different_epoch_allocates() {
+        let mut pb = PersistBuffer::new(4);
+        pb.enqueue(la(0), data(1), 0, ep(0)).unwrap();
+        assert_eq!(pb.enqueue(la(0), data(2), 1, ep(1)), Ok(true));
+        assert_eq!(pb.len(), 2);
+    }
+
+    #[test]
+    fn inflight_entry_does_not_coalesce() {
+        let mut pb = PersistBuffer::new(4);
+        pb.enqueue(la(0), data(1), 0, ep(0)).unwrap();
+        let id = pb.iter().next().unwrap().id;
+        pb.mark_inflight(id);
+        assert_eq!(pb.enqueue(la(0), data(2), 1, ep(0)), Ok(true));
+        assert_eq!(pb.len(), 2);
+    }
+
+    #[test]
+    fn next_flushable_respects_policy_and_line_order() {
+        let mut pb = PersistBuffer::new(8);
+        pb.enqueue(la(0), data(1), 0, ep(0)).unwrap();
+        pb.enqueue(la(1), data(2), 1, ep(1)).unwrap();
+        pb.enqueue(la(0), data(3), 2, ep(1)).unwrap(); // same line as first
+
+        // Strict policy: only epoch 1 eligible. la(1) is flushable;
+        // la(0)@ep1 is blocked by the older la(0)@ep0 entry.
+        let e = pb.next_flushable(|e| e.ts == 1, true).unwrap();
+        assert_eq!(e.line, la(1));
+
+        // Everything eligible: oldest first.
+        let e = pb.next_flushable(|_| true, true).unwrap();
+        assert_eq!(e.line, la(0));
+        assert_eq!(e.epoch, ep(0));
+
+        // Relaxed policy: la(0)@ep1 no longer blocked by la(0)@ep0 once
+        // the older entry is in flight (different epochs).
+        let id = pb.iter().next().unwrap().id;
+        pb.mark_inflight(id);
+        let e = pb.next_flushable(|e| e.ts == 1, false).unwrap();
+        assert_eq!(e.line, la(1)); // oldest eligible first
+        pb.mark_inflight(e.id);
+        let e = pb.next_flushable(|e| e.ts == 1, false).unwrap();
+        assert_eq!((e.line, e.epoch), (la(0), ep(1)));
+        // Strict policy still blocks it.
+        assert!(pb.next_flushable(|e| e.ts == 1, true).is_none());
+    }
+
+    #[test]
+    fn ack_removes_and_counts() {
+        let mut pb = PersistBuffer::new(4);
+        pb.enqueue(la(0), data(1), 0, ep(0)).unwrap();
+        let id = pb.iter().next().unwrap().id;
+        pb.mark_inflight(id);
+        let e = pb.ack(id).unwrap();
+        assert_eq!(e.line, la(0));
+        assert!(pb.is_empty());
+        assert_eq!(pb.flushed_count(), 1);
+        assert!(pb.ack(id).is_none());
+    }
+
+    #[test]
+    fn nack_and_wake_cycle() {
+        let mut pb = PersistBuffer::new(4);
+        pb.enqueue(la(0), data(1), 0, ep(1)).unwrap();
+        let id = pb.iter().next().unwrap().id;
+        pb.mark_inflight(id);
+        pb.mark_nacked(id);
+        // Not flushable while NACKed.
+        assert!(pb.next_flushable(|_| true, true).is_none());
+        assert!(pb.next_flushable(|_| true, false).is_none());
+        // Wake only when the epoch becomes safe.
+        assert_eq!(pb.wake_nacked(|e| e.ts == 0), 0);
+        assert_eq!(pb.wake_nacked(|e| e.ts == 1), 1);
+        assert!(pb.next_flushable(|_| true, true).is_some());
+    }
+
+    #[test]
+    fn holds_line_for_forwarding() {
+        let mut pb = PersistBuffer::new(4);
+        pb.enqueue(la(3), data(1), 0, ep(0)).unwrap();
+        assert!(pb.holds_line(la(3)));
+        assert!(!pb.holds_line(la(4)));
+    }
+}

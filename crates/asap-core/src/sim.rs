@@ -1,0 +1,1455 @@
+//! The event-driven system simulator.
+//!
+//! One [`Sim`] instance models the whole machine of Table II: N cores with
+//! private caches, persist buffers and epoch tables; a shared LLC
+//! directory; M memory controllers with WPQs, NVM media pipes and (for
+//! ASAP) recovery tables. The persistency *model*
+//! ([`ModelKind`]) selects how stores become durable:
+//!
+//! * **Baseline** — stores are tracked per epoch; every `ofence`/`dfence`
+//!   synchronously flushes the epoch's dirty lines (`clwb`) and stalls the
+//!   core until the MCs ack (`sfence`).
+//! * **HOPS** — stores enter the persist buffer; the PB flushes only
+//!   epochs that are *safe* (conservative flushing); cross-thread
+//!   dependencies resolve by polling the global timestamp register.
+//! * **ASAP** — the PB flushes *eagerly*: any entry may be issued, tagged
+//!   *early* when its epoch is not yet safe. MCs speculatively update
+//!   memory, guarded by recovery-table undo/delay records; epoch commits
+//!   send commit messages to the MCs that saw early flushes, and CDR
+//!   messages resolve cross-thread dependencies. NACKs (full RT) drop the
+//!   PB into conservative mode until the current epoch commits.
+//! * **eADR** — stores are durable in cache; fences cost ~a cycle.
+//! * **BBB** — stores are durable once inside the battery-backed persist
+//!   buffer; the buffer drains in the background and back-pressures the
+//!   core only when full.
+//!
+//! Execution interleaves *functional* burst generation (see
+//! [`crate::ops`]) with timed micro-op execution; every interaction that
+//! the paper's mechanisms care about (flush/ack round trips, WPQ
+//! backpressure, NACKs, commit/CDR messages, polling) is an explicit
+//! event with configured latency.
+
+use crate::deps::DepGraph;
+use crate::et::EpochTable;
+use crate::ops::{BurstCtx, BurstStatus, MemOp, ThreadProgram};
+use crate::oracle::{self, CrashReport};
+use crate::pb::PersistBuffer;
+use asap_cache_sim::{CoherenceHub, CountingBloom, WriteBackBuffer};
+use asap_memctrl::{FlushOutcome, FlushPacket, MemController};
+use asap_pm_mem::{LineSnapshot, NvmImage, PmSpace, WriteJournal, WriteSeq};
+use asap_sim_core::{
+    Cycle, EpochId, EventQueue, Flavor, LineAddr, McId, ModelKind, SimConfig, Stats, ThreadId,
+};
+use std::collections::{HashMap, VecDeque};
+
+/// Why a core is not executing.
+#[derive(Debug, Clone)]
+enum Block {
+    /// Persist buffer full; the pending store op is parked here.
+    PbFull { since: Cycle, op: MemOp },
+    /// Epoch table full; the pending fence op is parked here.
+    EtFull { since: Cycle, op: MemOp },
+    /// Waiting on `dfence` (all epochs must commit).
+    DFence { since: Cycle },
+    /// Baseline synchronous fence: waiting for `remaining` flush acks,
+    /// with `pending` lines still to issue.
+    SyncFence {
+        since: Cycle,
+        remaining: usize,
+        pending: VecDeque<(LineAddr, u64)>,
+        is_dfence: bool,
+    },
+}
+
+/// Per-core simulation state.
+struct Core {
+    tid: ThreadId,
+    pb: PersistBuffer,
+    et: EpochTable,
+    cur_ts: u64,
+    burst: VecDeque<MemOp>,
+    program_finished: bool,
+    retire_fence_issued: bool,
+    done: bool,
+    blocked: Option<Block>,
+    inflight: usize,
+    conservative: bool,
+    conservative_exit_ts: u64,
+    /// Baseline: dirty lines of the current epoch → latest (seq).
+    sync_dirty: HashMap<LineAddr, u64>,
+    core_free_at: Cycle,
+    step_scheduled: bool,
+    polling: bool,
+    pb_occ_last: Cycle,
+    pb_blocked_since: Option<Cycle>,
+    ops_completed: u64,
+    /// Write-back buffer (§V-F): parks dirty private-cache evictions
+    /// whose line still has preceding writes in the persist buffer.
+    wbb: WriteBackBuffer,
+}
+
+impl Core {
+    fn cur_epoch(&self) -> EpochId {
+        EpochId::new(self.tid, self.cur_ts)
+    }
+}
+
+/// Simulator events.
+#[derive(Debug)]
+enum Event {
+    CoreStep(usize),
+    TryFlush(usize),
+    FlushArrive { tid: usize, entry_id: u64, mc: usize },
+    FlushReply { tid: usize, entry_id: u64, ok: bool },
+    SyncFlushArrive { tid: usize, line: LineAddr, seq: u64, mc: usize },
+    SyncFlushReply { tid: usize },
+    CommitArrive { mc: usize, epoch: EpochId },
+    CommitAckArrive { epoch: EpochId },
+    CdrArrive { tid: usize, src: EpochId },
+    HopsPoll { tid: usize },
+}
+
+/// Summary of a completed (or truncated) run.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Simulated end time.
+    pub cycles: Cycle,
+    /// Total logical operations completed across threads.
+    pub ops_completed: u64,
+    /// Whether every thread retired.
+    pub all_done: bool,
+}
+
+/// Builder for [`Sim`] ([C-BUILDER]).
+pub struct SimBuilder {
+    cfg: SimConfig,
+    model: ModelKind,
+    flavor: Flavor,
+    programs: Vec<Box<dyn ThreadProgram>>,
+    journal: bool,
+}
+
+impl SimBuilder {
+    /// Start building a simulation of `model` under `flavor` on the
+    /// hardware described by `cfg`.
+    pub fn new(cfg: SimConfig, model: ModelKind, flavor: Flavor) -> SimBuilder {
+        SimBuilder {
+            cfg,
+            model,
+            flavor,
+            programs: Vec::new(),
+            journal: false,
+        }
+    }
+
+    /// Add one thread program (one core).
+    pub fn program(mut self, p: Box<dyn ThreadProgram>) -> SimBuilder {
+        self.programs.push(p);
+        self
+    }
+
+    /// Add many thread programs.
+    pub fn programs(mut self, ps: Vec<Box<dyn ThreadProgram>>) -> SimBuilder {
+        self.programs.extend(ps);
+        self
+    }
+
+    /// Enable the write journal (required for crash-consistency checks;
+    /// costs memory proportional to store count).
+    pub fn with_journal(mut self) -> SimBuilder {
+        self.journal = true;
+        self
+    }
+
+    /// Build the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no programs were supplied or more programs than
+    /// configured cores.
+    pub fn build(mut self) -> Sim {
+        assert!(!self.programs.is_empty(), "at least one program required");
+        assert!(
+            self.programs.len() <= self.cfg.num_cores,
+            "more programs ({}) than cores ({})",
+            self.programs.len(),
+            self.cfg.num_cores
+        );
+        // Unused cores idle; shrink to the active set for cleanliness.
+        self.cfg.num_cores = self.programs.len();
+        Sim::new(self.cfg, self.model, self.flavor, self.programs, self.journal)
+    }
+}
+
+/// The system simulator. See the module docs for the model semantics.
+pub struct Sim {
+    cfg: SimConfig,
+    model: ModelKind,
+    flavor: Flavor,
+    now: Cycle,
+    queue: EventQueue<Event>,
+    cores: Vec<Core>,
+    programs: Vec<Box<dyn ThreadProgram>>,
+    hub: CoherenceHub,
+    mcs: Vec<MemController>,
+    pm: PmSpace,
+    nvm: NvmImage,
+    journal: WriteJournal,
+    deps: DepGraph,
+    stats: Stats,
+    /// HOPS global timestamp register: last committed epoch ts per thread.
+    global_ts: Vec<Option<u64>>,
+    /// Release persistency: line → epoch of the last release-store.
+    release_map: HashMap<LineAddr, EpochId>,
+    /// Per-MC counting Bloom filters of NACKed flush addresses (§V-F):
+    /// LLC evictions of a filtered line must wait for the retry.
+    nack_filters: Vec<CountingBloom>,
+    events_processed: u64,
+    crashed: bool,
+}
+
+impl Sim {
+    fn new(
+        cfg: SimConfig,
+        model: ModelKind,
+        flavor: Flavor,
+        programs: Vec<Box<dyn ThreadProgram>>,
+        journal: bool,
+    ) -> Sim {
+        let n = cfg.num_cores;
+        let mut cores = Vec::with_capacity(n);
+        let mut deps = DepGraph::new();
+        for i in 0..n {
+            let tid = ThreadId(i);
+            let mut et = EpochTable::new(tid, cfg.et_entries);
+            et.open(0);
+            deps.ensure(EpochId::new(tid, 0));
+            cores.push(Core {
+                tid,
+                pb: PersistBuffer::new(cfg.pb_entries),
+                et,
+                cur_ts: 0,
+                burst: VecDeque::new(),
+                program_finished: false,
+                retire_fence_issued: false,
+                done: false,
+                blocked: None,
+                inflight: 0,
+                conservative: false,
+                conservative_exit_ts: 0,
+                sync_dirty: HashMap::new(),
+                core_free_at: Cycle::ZERO,
+                step_scheduled: false,
+                polling: false,
+                pb_occ_last: Cycle::ZERO,
+                pb_blocked_since: None,
+                ops_completed: 0,
+                wbb: WriteBackBuffer::new(8),
+            });
+        }
+        let hub = CoherenceHub::new(&cfg);
+        let mcs = (0..cfg.num_mcs)
+            .map(|i| MemController::new(McId(i), &cfg))
+            .collect();
+        let mut queue = EventQueue::new();
+        for i in 0..n {
+            queue.push(Cycle::ZERO, Event::CoreStep(i));
+        }
+        let nack_filters = (0..cfg.num_mcs)
+            .map(|_| CountingBloom::new(1024, 3))
+            .collect();
+        let mut cores_sim = Sim {
+            cfg,
+            model,
+            flavor,
+            now: Cycle::ZERO,
+            queue,
+            cores,
+            programs,
+            hub,
+            mcs,
+            pm: PmSpace::new(),
+            nvm: NvmImage::new(),
+            journal: if journal {
+                WriteJournal::enabled()
+            } else {
+                WriteJournal::disabled()
+            },
+            deps,
+            stats: Stats::new(),
+            global_ts: vec![None; n],
+            release_map: HashMap::new(),
+            nack_filters,
+            events_processed: 0,
+            crashed: false,
+        };
+        for c in &mut cores_sim.cores {
+            c.step_scheduled = true;
+        }
+        cores_sim
+    }
+
+    // ---------------------------------------------------------------
+    // Public API
+    // ---------------------------------------------------------------
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The configuration being simulated.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The model being simulated.
+    pub fn model(&self) -> ModelKind {
+        self.model
+    }
+
+    /// The persistency flavour being simulated.
+    pub fn flavor(&self) -> Flavor {
+        self.flavor
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The functional (program-visible) PM image.
+    pub fn pm(&self) -> &PmSpace {
+        &self.pm
+    }
+
+    /// The persisted (media) image.
+    pub fn nvm(&self) -> &NvmImage {
+        &self.nvm
+    }
+
+    /// The epoch dependency graph.
+    pub fn deps(&self) -> &DepGraph {
+        &self.deps
+    }
+
+    /// Maximum recovery-table occupancy across MCs (Figure 12).
+    pub fn rt_max_occupancy(&self) -> usize {
+        self.mcs.iter().map(|m| m.rt().max_occupancy()).max().unwrap_or(0)
+    }
+
+    /// Total NVM media line writes across MCs.
+    pub fn media_writes(&self) -> u64 {
+        self.mcs.iter().map(|m| m.media_writes()).sum()
+    }
+
+    /// Fraction of wall-clock during which MC media pipes were busy
+    /// (Figure 13's bandwidth utilization).
+    pub fn media_utilization(&self) -> f64 {
+        if self.now == Cycle::ZERO {
+            return 0.0;
+        }
+        let busy: u64 = self
+            .mcs
+            .iter()
+            .map(|m| m.media_writes() * m.write_occupancy().raw())
+            .sum();
+        busy as f64 / (self.now.raw() as f64 * self.cfg.num_mcs as f64)
+    }
+
+    /// Run until every thread retires. Returns the outcome summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system deadlocks (no pending events while threads
+    /// are unfinished) — this is the machine-checked version of the
+    /// paper's forward-progress theorem — or if an internal event budget
+    /// is exhausted.
+    pub fn run_to_completion(&mut self) -> SimOutcome {
+        self.run_until(None)
+    }
+
+    /// Run until simulated time reaches `limit` (events beyond it stay
+    /// queued) or every thread retires.
+    pub fn run_for(&mut self, limit: Cycle) -> SimOutcome {
+        self.run_until(Some(limit))
+    }
+
+    fn run_until(&mut self, limit: Option<Cycle>) -> SimOutcome {
+        const EVENT_BUDGET: u64 = 2_000_000_000;
+        while !self.all_done() {
+            let Some(next_time) = self.queue.peek_time() else {
+                panic!(
+                    "deadlock at {}: no events pending but threads unfinished: {}",
+                    self.now,
+                    self.dump_state()
+                );
+            };
+            if let Some(l) = limit {
+                if next_time > l {
+                    self.now = l;
+                    break;
+                }
+            }
+            let (t, ev) = self.queue.pop().expect("peeked");
+            self.now = t;
+            self.events_processed += 1;
+            if std::env::var_os("ASAP_TRACE").is_some() {
+                eprintln!("[{}] {:?}", self.now, ev);
+            }
+            assert!(
+                self.events_processed < EVENT_BUDGET,
+                "event budget exhausted at {} after {} events (runaway simulation?) ev={:?} state={}",
+                self.now,
+                self.events_processed,
+                ev,
+                self.dump_state()
+            );
+            self.dispatch(ev);
+        }
+        self.finish_accounting();
+        SimOutcome {
+            cycles: self.now,
+            ops_completed: self.stats.ops_completed,
+            all_done: self.all_done(),
+        }
+    }
+
+    fn finish_accounting(&mut self) {
+        self.stats.finish(self.now);
+        let num_cores = self.cores.len();
+        for i in 0..num_cores {
+            // Close open PB-occupancy and blocked intervals.
+            let now = self.now;
+            let c = &mut self.cores[i];
+            let occ = c.pb.len();
+            let dt = now.saturating_sub(c.pb_occ_last).raw();
+            self.stats.pb_occupancy.record_weighted(occ, dt);
+            c.pb_occ_last = now;
+            if let Some(s) = c.pb_blocked_since.take() {
+                self.stats.cycles_blocked += now.saturating_sub(s).raw();
+            }
+            self.stats.et_occupancy.record(c.et.len());
+        }
+        self.stats.ops_completed = self.cores.iter().map(|c| c.ops_completed).sum();
+        let rt_max = self.rt_max_occupancy();
+        self.stats.rt_occupancy.record(rt_max);
+        let wpq_coalesced: u64 = self.mcs.iter().map(|m| m.wpq_coalesced()).sum();
+        self.stats.wpq_coalesced = wpq_coalesced;
+    }
+
+    /// Reset the statistics block, starting a fresh measurement region
+    /// (the gem5 artifact's warmup → ROI transition). Component-level
+    /// high-water marks that describe hardware sizing (recovery-table
+    /// max occupancy) intentionally keep their whole-run values.
+    pub fn reset_stats(&mut self) {
+        self.stats = Stats::new();
+        let now = self.now;
+        for c in &mut self.cores {
+            c.pb_occ_last = now;
+            c.pb_blocked_since = None;
+            c.ops_completed = 0;
+        }
+    }
+
+    /// Simulate a power failure *now*: ADR drains the WPQs (already
+    /// reflected in the NVM image) and writes the undo records back
+    /// (§V-E), then checks the recovered image against the write journal
+    /// and dependency DAG (§VI). Requires [`SimBuilder::with_journal`].
+    pub fn crash_and_check(&mut self) -> CrashReport {
+        assert!(
+            self.journal.is_enabled(),
+            "crash checking requires SimBuilder::with_journal()"
+        );
+        self.crashed = true;
+        if self.model == ModelKind::Bbb {
+            // The battery drains every persist buffer to NVM before power
+            // is lost — including entries whose flush was in flight.
+            for t in 0..self.cores.len() {
+                let entries: Vec<_> = self.cores[t]
+                    .pb
+                    .iter()
+                    .map(|e| (e.line, *e.data.clone(), e.seq, e.epoch))
+                    .collect();
+                for (line, data, seq, epoch) in entries {
+                    self.nvm.persist(line, data, Some(seq), Some(epoch));
+                }
+            }
+            // Fall through to the normal drain + oracle: with the buffers
+            // drained, everything executed is durable.
+        }
+        if self.model == ModelKind::Eadr {
+            // eADR/BBB: the battery flushes the entire hierarchy, so the
+            // recovered state equals the functional image — trivially
+            // consistent. Nothing to verify against the media image.
+            return CrashReport::default();
+        }
+        let mut undone = 0;
+        for mc in &mut self.mcs {
+            undone += mc.crash(&mut self.nvm);
+        }
+        let mut report = oracle::check(&self.journal, &self.deps, &self.nvm);
+        report.undo_records_applied = undone;
+        report
+    }
+
+    /// Crash at an arbitrary instant: run until `at`, then crash.
+    pub fn crash_at(&mut self, at: Cycle) -> CrashReport {
+        self.run_for(at);
+        self.crash_and_check()
+    }
+
+    fn all_done(&self) -> bool {
+        self.cores.iter().all(|c| c.done)
+    }
+
+    /// Diagnostic snapshot of every unfinished core (deadlock reports).
+    fn dump_state(&self) -> String {
+        self.cores
+            .iter()
+            .filter(|c| !c.done)
+            .map(|c| {
+                let states: Vec<String> = c
+                    .pb
+                    .iter()
+                    .take(4)
+                    .map(|e| format!("{}@{}:{:?}", e.epoch, e.line, e.state))
+                    .collect();
+                format!(
+                    "[{}: blocked={:?} pb={} et={} cur_ts={} inflight={} conservative={} \
+                     oldest_safe={:?} oldest_dep={:?} head={:?}]",
+                    c.tid,
+                    c.blocked.as_ref().map(block_name),
+                    c.pb.len(),
+                    c.et.len(),
+                    c.cur_ts,
+                    c.inflight,
+                    c.conservative,
+                    c.et.oldest_safe_ts(),
+                    c.et.oldest_unresolved_dep(),
+                    states
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    // ---------------------------------------------------------------
+    // Event dispatch
+    // ---------------------------------------------------------------
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::CoreStep(t) => self.core_step(t),
+            Event::TryFlush(t) => self.try_flush(t),
+            Event::FlushArrive { tid, entry_id, mc } => self.flush_arrive(tid, entry_id, mc),
+            Event::FlushReply { tid, entry_id, ok } => self.flush_reply(tid, entry_id, ok),
+            Event::SyncFlushArrive { tid, line, seq, mc } => {
+                self.sync_flush_arrive(tid, line, seq, mc)
+            }
+            Event::SyncFlushReply { tid } => self.sync_flush_reply(tid),
+            Event::CommitArrive { mc, epoch } => self.commit_arrive(mc, epoch),
+            Event::CommitAckArrive { epoch } => self.commit_ack_arrive(epoch),
+            Event::CdrArrive { tid, src } => self.cdr_arrive(tid, src),
+            Event::HopsPoll { tid } => self.hops_poll(tid),
+        }
+    }
+
+    fn schedule(&mut self, at: Cycle, ev: Event) {
+        self.queue.push(at.max(self.now), ev);
+    }
+
+    fn schedule_step(&mut self, t: usize, at: Cycle) {
+        if !self.cores[t].step_scheduled && !self.cores[t].done {
+            self.cores[t].step_scheduled = true;
+            self.schedule(at, Event::CoreStep(t));
+        }
+    }
+
+    fn schedule_flush(&mut self, t: usize) {
+        if self.uses_pb() || self.model == ModelKind::Bbb {
+            // The flush engine arbitrates a few cycles after enqueue;
+            // the slack also lets back-to-back stores to one line inside
+            // a burst coalesce instead of racing their own flush.
+            self.schedule(self.now + Cycle(8), Event::TryFlush(t));
+        }
+    }
+
+    fn uses_pb(&self) -> bool {
+        matches!(self.model, ModelKind::Hops | ModelKind::Asap)
+    }
+
+    // ---------------------------------------------------------------
+    // Core execution
+    // ---------------------------------------------------------------
+
+    fn core_step(&mut self, t: usize) {
+        self.cores[t].step_scheduled = false;
+        if self.cores[t].done || self.cores[t].blocked.is_some() {
+            return;
+        }
+        if self.cores[t].core_free_at > self.now {
+            let at = self.cores[t].core_free_at;
+            self.schedule_step(t, at);
+            return;
+        }
+        if self.cores[t].burst.is_empty() && !self.refill_burst(t) {
+            return; // retired or rescheduled
+        }
+        let Some(op) = self.cores[t].burst.pop_front() else {
+            return;
+        };
+        self.execute_op(t, op);
+    }
+
+    /// Returns `true` if the burst now has ops to execute.
+    fn refill_burst(&mut self, t: usize) -> bool {
+        if self.cores[t].program_finished {
+            if !self.cores[t].retire_fence_issued {
+                self.cores[t].retire_fence_issued = true;
+                self.cores[t].burst.push_back(MemOp::DFence);
+                return true;
+            }
+            self.cores[t].done = true;
+            return false;
+        }
+        let mut ctx = BurstCtx::new(&mut self.pm, &mut self.journal);
+        let status = self.programs[t].next_burst(ThreadId(t), &mut ctx);
+        let (ops, completed, preinit) = ctx.into_parts();
+        for line in preinit {
+            // Setup state is part of the initial pool image: durable by
+            // construction, like a formatted pmem pool before the run.
+            self.nvm.preinit(line, self.pm.snapshot_line(line));
+        }
+        self.cores[t].ops_completed += completed;
+        if status == BurstStatus::Finished {
+            self.cores[t].program_finished = true;
+        }
+        if ops.is_empty() {
+            if self.cores[t].program_finished {
+                return self.refill_burst(t); // go to retirement
+            }
+            // A spinning program that emitted nothing: back off to avoid a
+            // zero-time livelock.
+            self.cores[t].core_free_at = self.now + Cycle(64);
+            self.schedule_step(t, self.cores[t].core_free_at);
+            return false;
+        }
+        self.cores[t].burst.extend(ops);
+        true
+    }
+
+    fn execute_op(&mut self, t: usize, op: MemOp) {
+        match op {
+            MemOp::Compute { cycles } => {
+                self.finish_op(t, Cycle(cycles * self.cfg.compute_scale));
+            }
+            MemOp::Load { addr } => {
+                let lat = self.do_load(t, addr, false);
+                self.finish_op(t, lat);
+            }
+            MemOp::Acquire { addr, reads_from } => {
+                // Close the generation/execution skew: the store this
+                // acquire observed must have executed (and registered its
+                // release) before the synchronizing read proceeds.
+                if let Some(rf) = reads_from {
+                    if !self.journal.is_executed(rf) {
+                        self.cores[t]
+                            .burst
+                            .push_front(MemOp::Acquire { addr, reads_from });
+                        self.finish_op(t, Cycle(16));
+                        return;
+                    }
+                }
+                let lat = self.do_load(t, addr, true);
+                self.finish_op(t, lat);
+            }
+            MemOp::Store { addr, seq, data } => {
+                self.do_store(t, addr, seq, data, false);
+            }
+            MemOp::Release { addr, seq, data } => {
+                self.do_store(t, addr, seq, data, true);
+            }
+            MemOp::OFence => self.do_ofence(t),
+            MemOp::DFence => self.do_dfence(t),
+        }
+    }
+
+    fn finish_op(&mut self, t: usize, latency: Cycle) {
+        let free = self.now + latency.max(Cycle(1));
+        self.cores[t].core_free_at = free;
+        self.schedule_step(t, free);
+    }
+
+    fn do_load(&mut self, t: usize, addr: u64, acquire: bool) -> Cycle {
+        let line = LineAddr::containing(addr);
+        let out = self.hub.access(ThreadId(t), line, false);
+        let mut lat = out.latency;
+        if out.llc_miss {
+            if self.uses_pb() && self.cores[t].pb.holds_line(line) {
+                // Load forwarded from the core's own persist buffer.
+                lat += self.cfg.l1_latency;
+            } else {
+                lat += self.cfg.nvm_read_latency;
+                self.stats.nvm_reads += 1;
+            }
+        }
+        self.stats.loads += 1;
+        self.park_eviction(t, out.evicted_dirty);
+        if let Some(src) = out.dirty_supplier {
+            self.handle_ep_conflict(t, src);
+        }
+        if acquire && self.flavor == Flavor::Release {
+            self.handle_acquire(t, line);
+        }
+        lat
+    }
+
+    /// §V-F: a dirty private-cache eviction whose line still has pending
+    /// persist-buffer writes parks in the write-back buffer until the PB
+    /// flushes past the recorded tail index (evicted PM lines otherwise
+    /// just drop — the persist path owns durability).
+    fn park_eviction(&mut self, t: usize, victim: Option<LineAddr>) {
+        let Some(victim) = victim else { return };
+        if !self.uses_pb() {
+            return;
+        }
+        let core = &mut self.cores[t];
+        if core.pb.holds_line(victim) {
+            let tail = core.pb.flushed_count() + core.pb.len() as u64;
+            // A full WBB would stall the eviction in hardware; the
+            // occupancy tracking is what we need here.
+            let _ = core.wbb.park(victim, tail);
+        }
+    }
+
+    fn do_store(&mut self, t: usize, addr: u64, seq: WriteSeq, data: Box<LineSnapshot>, release: bool) {
+        let line = LineAddr::containing(addr);
+        let out = self.hub.access(ThreadId(t), line, true);
+        // Stores retire through the store buffer: the core pays the cache
+        // access but not a write-allocate fill (full-line write-combining;
+        // an OoO core hides the fill behind younger instructions). This
+        // keeps streaming writes persist-path-bound, as on real hardware.
+        let lat = out.latency;
+        self.park_eviction(t, out.evicted_dirty);
+        if let Some(src) = out.dirty_supplier {
+            self.handle_ep_conflict(t, src);
+        }
+        // Invalidated sharers may still hold pending persist-buffer
+        // writes for this line (they wrote it in M before a reader
+        // downgraded it to S): their invalidation acks establish the
+        // dependency that keeps strong persist atomicity intact.
+        for s in &out.invalidated {
+            self.handle_ep_conflict(t, *s);
+        }
+        // Epoch known only now (conflict handling may have split it).
+        let epoch = self.cores[t].cur_epoch();
+        self.journal.assign_epoch(seq, epoch);
+        self.stats.stores += 1;
+
+        match self.model {
+            ModelKind::Eadr => {
+                // Durable at the cache; mark the epoch committed lazily at
+                // the next fence.
+            }
+            ModelKind::Bbb => {
+                // Durable once inside the battery-backed buffer; the
+                // buffer still drains in the background and a full buffer
+                // back-pressures the core (the paper's only BBB stall).
+                match self.cores[t].pb.enqueue(line, data, seq.0, epoch) {
+                    Ok(true) => {
+                        self.stats.entries_inserted += 1;
+                        self.schedule_flush(t);
+                    }
+                    Ok(false) => {
+                        self.stats.pb_coalesced += 1;
+                        self.stats.entries_inserted += 1;
+                    }
+                    Err(data) => {
+                        let op = if release {
+                            MemOp::Release { addr, seq, data }
+                        } else {
+                            MemOp::Store { addr, seq, data }
+                        };
+                        self.cores[t].blocked = Some(Block::PbFull { since: self.now, op });
+                        self.schedule_flush(t);
+                        return;
+                    }
+                }
+            }
+            ModelKind::Baseline => {
+                self.cores[t].sync_dirty.insert(line, seq.0);
+            }
+            ModelKind::Hops | ModelKind::Asap => {
+                let occ_before = self.cores[t].pb.len();
+                match self.cores[t].pb.enqueue(line, data, seq.0, epoch) {
+                    Ok(true) => {
+                        self.cores[t].et.add_write(epoch.ts);
+                        self.stats.entries_inserted += 1;
+                        self.note_pb_occ_change(t, occ_before);
+                        self.schedule_flush(t);
+                    }
+                    Ok(false) => {
+                        self.stats.pb_coalesced += 1;
+                        self.stats.entries_inserted += 1;
+                    }
+                    Err(data) => {
+                        // PB full: stall the core, repark the op (§VI-A:
+                        // "the incoming write from the core is stalled").
+                        let op = if release {
+                            MemOp::Release { addr, seq, data }
+                        } else {
+                            MemOp::Store { addr, seq, data }
+                        };
+                        self.cores[t].blocked = Some(Block::PbFull { since: self.now, op });
+                        self.schedule_flush(t);
+                        return;
+                    }
+                }
+            }
+        }
+
+        if release && self.flavor == Flavor::Release {
+            self.handle_release(t, line);
+        }
+        self.finish_op(t, lat);
+        self.update_pb_blocked(t);
+    }
+
+    fn do_ofence(&mut self, t: usize) {
+        match self.model {
+            ModelKind::Eadr | ModelKind::Bbb => {
+                // Buffer contents are battery-durable: ordering holds by
+                // construction; just roll the epoch for bookkeeping.
+                let e = self.cores[t].cur_epoch();
+                self.deps.mark_committed(e);
+                self.stats.epochs_committed += 1;
+                self.advance_epoch_untracked(t);
+                self.finish_op(t, Cycle(1));
+            }
+            ModelKind::Baseline => self.start_sync_fence(t, false),
+            ModelKind::Hops | ModelKind::Asap => {
+                if self.cores[t].et.is_full() {
+                    self.cores[t].blocked = Some(Block::EtFull {
+                        since: self.now,
+                        op: MemOp::OFence,
+                    });
+                    return;
+                }
+                self.split_epoch(t);
+                self.finish_op(t, Cycle(1));
+            }
+        }
+    }
+
+    fn do_dfence(&mut self, t: usize) {
+        match self.model {
+            ModelKind::Eadr | ModelKind::Bbb => {
+                // Everything buffered is durable; just roll the epoch for
+                // bookkeeping.
+                let e = self.cores[t].cur_epoch();
+                self.deps.mark_committed(e);
+                self.stats.epochs_committed += 1;
+                self.advance_epoch_untracked(t);
+                self.finish_op(t, Cycle(1));
+            }
+            ModelKind::Baseline => self.start_sync_fence(t, true),
+            ModelKind::Hops | ModelKind::Asap => {
+                let ts = self.cores[t].cur_ts;
+                self.cores[t].et.close(ts);
+                self.try_commit(t);
+                if self.cores[t].et.is_empty() {
+                    // All epochs committed already: cheap dfence.
+                    self.open_next_epoch(t);
+                    self.finish_op(t, Cycle(1));
+                } else {
+                    self.cores[t].blocked = Some(Block::DFence { since: self.now });
+                    self.schedule_flush(t);
+                    self.update_pb_blocked(t);
+                }
+            }
+        }
+    }
+
+    /// Baseline: advance the epoch counter without ET bookkeeping.
+    fn advance_epoch_untracked(&mut self, t: usize) {
+        self.cores[t].cur_ts += 1;
+        let e = self.cores[t].cur_epoch();
+        self.deps.ensure(e);
+        self.stats.epochs_created += 1;
+    }
+
+    /// Close the current epoch and open the next (ofence semantics).
+    /// Caller must have checked `!et.is_full()`.
+    fn split_epoch(&mut self, t: usize) {
+        let ts = self.cores[t].cur_ts;
+        self.cores[t].et.close(ts);
+        self.open_next_epoch(t);
+        self.try_commit(t);
+    }
+
+    fn open_next_epoch(&mut self, t: usize) {
+        self.cores[t].cur_ts += 1;
+        let ts = self.cores[t].cur_ts;
+        // Dependency splits may transiently overflow the table; fences
+        // check `is_full` and stall, which bounds occupancy.
+        self.cores[t].et.force_open(ts);
+        self.deps.ensure(EpochId::new(ThreadId(t), ts));
+        self.stats.epochs_created += 1;
+    }
+
+    // ---------------------------------------------------------------
+    // Cross-thread dependencies
+    // ---------------------------------------------------------------
+
+    /// Epoch persistency: any access supplied by a remote dirty line
+    /// creates a dependency (paper §IV-E).
+    fn handle_ep_conflict(&mut self, t: usize, src_tid: ThreadId) {
+        if self.flavor != Flavor::Epoch || !self.uses_pb() || src_tid.0 == t {
+            return;
+        }
+        let src_epoch = self.cores[src_tid.0].cur_epoch();
+        self.create_cross_dep(t, src_epoch);
+    }
+
+    /// Release persistency: an acquire synchronizing with a remote
+    /// release creates the dependency.
+    fn handle_acquire(&mut self, t: usize, line: LineAddr) {
+        if !self.uses_pb() {
+            return;
+        }
+        let Some(&src_epoch) = self.release_map.get(&line) else {
+            return;
+        };
+        if src_epoch.thread.0 == t || self.deps.is_committed(src_epoch) {
+            return;
+        }
+        // The source epoch must still be in flight at its owner.
+        if self.cores[src_epoch.thread.0].et.status(src_epoch.ts)
+            != crate::et::EpochStatus::InFlight
+        {
+            return;
+        }
+        self.create_cross_dep_on(t, src_epoch);
+    }
+
+    /// Release persistency: record the releasing epoch and end it
+    /// (one-sided barrier).
+    fn handle_release(&mut self, t: usize, line: LineAddr) {
+        if !self.uses_pb() {
+            return;
+        }
+        let e = self.cores[t].cur_epoch();
+        self.release_map.insert(line, e);
+        self.split_epoch(t);
+    }
+
+    /// Create a dependency on the *current* epoch of `src`'s thread,
+    /// closing it (the coherence reply starts a new epoch at the source,
+    /// §IV-E).
+    fn create_cross_dep(&mut self, t: usize, src_epoch: EpochId) {
+        let s = src_epoch.thread.0;
+        // Register the dependency *before* closing the source epoch: an
+        // empty source epoch can commit inline during the split, and the
+        // CDR must find the dependent registered.
+        self.create_cross_dep_on(t, src_epoch);
+        if self.cores[s].cur_ts == src_epoch.ts && !self.cores[s].et.is_closed(src_epoch.ts) {
+            self.split_epoch(s);
+        }
+    }
+
+    /// Attach a dependency from `t`'s (new) epoch to `src_epoch`.
+    fn create_cross_dep_on(&mut self, t: usize, src_epoch: EpochId) {
+        debug_assert_ne!(src_epoch.thread.0, t);
+        // Requester starts a new epoch that carries the dependency —
+        // unless the current epoch is still pristine (no writes yet), in
+        // which case it can carry the dependency itself. Splitting an
+        // epoch whose writes may already have persisted would claim
+        // ordering the hardware never promised.
+        let cur = self.cores[t].cur_ts;
+        if self.cores[t].et.has_writes(cur) || self.cores[t].et.is_closed(cur) {
+            self.split_epoch(t);
+        }
+        let ts = self.cores[t].cur_ts;
+        self.cores[t].et.record_dep(ts, src_epoch);
+        self.cores[src_epoch.thread.0]
+            .et
+            .add_dependent(src_epoch.ts, ThreadId(t));
+        self.deps
+            .add_cross_dep(EpochId::new(ThreadId(t), ts), src_epoch);
+        self.stats.inter_t_epoch_conflict += 1;
+        if self.model == ModelKind::Hops {
+            self.schedule_poll(t);
+        }
+        self.update_pb_blocked(t);
+        // The source epoch just closed; it may be committable already.
+        self.try_commit(src_epoch.thread.0);
+    }
+
+    // ---------------------------------------------------------------
+    // PB flushing (HOPS / ASAP)
+    // ---------------------------------------------------------------
+
+    /// Whether eager mode may reorder same-line flushes across epochs
+    /// (the recovery table sorts them out).
+    fn relaxed_lines(&self, t: usize) -> bool {
+        match self.model {
+            ModelKind::Asap => !self.cores[t].conservative,
+            // The battery-backed buffer is itself durable: drain order is
+            // irrelevant — except per (line, epoch), which the shared
+            // same-epoch rule already enforces.
+            ModelKind::Bbb => true,
+            _ => false,
+        }
+    }
+
+    fn epoch_eligible(&self, t: usize, e: EpochId) -> bool {
+        match self.model {
+            ModelKind::Hops => self.cores[t].et.is_safe(e.ts),
+            ModelKind::Asap => {
+                if self.cores[t].conservative {
+                    self.cores[t].et.is_safe(e.ts)
+                } else {
+                    true
+                }
+            }
+            // BBB drains freely: the buffer itself is the persistence
+            // domain, so drain order never matters for recovery.
+            ModelKind::Bbb => true,
+            _ => false,
+        }
+    }
+
+    fn try_flush(&mut self, t: usize) {
+        if !self.uses_pb() && self.model != ModelKind::Bbb {
+            return;
+        }
+        // Retry NACKed entries whose epoch has since become safe (the
+        // transition can happen via commit *or* CDR resolution).
+        let safe_ts = self.cores[t].et.oldest_safe_ts();
+        self.cores[t].pb.wake_nacked(|e| Some(e.ts) == safe_ts);
+        while self.cores[t].inflight < self.cfg.pb_max_inflight {
+            let candidate = {
+                let core = &self.cores[t];
+                core.pb
+                    .next_flushable(|e| self.epoch_eligible(t, e), !self.relaxed_lines(t))
+                    .map(|e| (e.id, e.line, e.epoch))
+            };
+            let Some((id, line, epoch)) = candidate else {
+                break;
+            };
+            let early = self.model == ModelKind::Asap && !self.cores[t].et.is_safe(epoch.ts);
+            if early {
+                let mc = McId(self.cfg.mc_of_addr(line.byte_addr()));
+                self.cores[t].et.note_early_flush(epoch.ts, mc);
+            }
+            self.cores[t].pb.mark_inflight(id);
+            self.cores[t].inflight += 1;
+            let mc = self.cfg.mc_of_addr(line.byte_addr());
+            let at = self.now + self.cfg.pb_flush_latency;
+            self.schedule(at, Event::FlushArrive { tid: t, entry_id: id, mc });
+        }
+        self.update_pb_blocked(t);
+    }
+
+    fn flush_arrive(&mut self, tid: usize, entry_id: u64, mc: usize) {
+        // The entry may have been re-coalesced etc.; it is still present
+        // (only acks remove entries).
+        let Some(entry) = self.cores[tid].pb.get(entry_id) else {
+            return;
+        };
+        let early = self.model == ModelKind::Asap
+            && !self.cores[tid].et.is_safe(entry.epoch.ts);
+        let pkt = FlushPacket {
+            line: entry.line,
+            data: *entry.data.clone(),
+            seq: entry.seq,
+            epoch: entry.epoch,
+            early,
+        };
+        let outcome = self.mcs[mc].receive_flush(self.now, &pkt, &mut self.nvm, &mut self.stats);
+        match outcome {
+            FlushOutcome::Accepted { accept_at, .. } => {
+                if early {
+                    // Re-affirm the early MC (the issue-time marking could
+                    // have been skipped if the epoch was safe then).
+                    self.cores[tid].et.note_early_flush(pkt.epoch.ts, McId(mc));
+                }
+                let at = accept_at + self.cfg.pb_flush_latency;
+                self.schedule(at, Event::FlushReply { tid, entry_id, ok: true });
+            }
+            FlushOutcome::Nacked { accept_at } => {
+                let at = accept_at + self.cfg.pb_flush_latency;
+                self.schedule(at, Event::FlushReply { tid, entry_id, ok: false });
+            }
+            FlushOutcome::Busy { retry_at } => {
+                let at = retry_at.max(self.now + Cycle(1));
+                self.schedule(at, Event::FlushArrive { tid, entry_id, mc });
+            }
+        }
+    }
+
+    fn flush_reply(&mut self, tid: usize, entry_id: u64, ok: bool) {
+        self.cores[tid].inflight -= 1;
+        if self.model == ModelKind::Bbb {
+            // No epoch table / recovery protocol: just retire the entry.
+            debug_assert!(ok, "BBB flushes are always safe");
+            let occ_before = self.cores[tid].pb.len();
+            if self.cores[tid].pb.ack(entry_id).is_some() {
+                self.note_pb_occ_change(tid, occ_before);
+            }
+            self.unblock_pb_full(tid);
+            self.schedule_flush(tid);
+            return;
+        }
+        if ok {
+            let occ_before = self.cores[tid].pb.len();
+            if let Some(entry) = self.cores[tid].pb.ack(entry_id) {
+                self.cores[tid].et.ack_write(entry.epoch.ts);
+                self.note_pb_occ_change(tid, occ_before);
+                // A successful (retried) flush clears its NACK-filter
+                // entry so the line's LLC eviction may proceed.
+                let mc = self.cfg.mc_of_addr(entry.line.byte_addr());
+                if self.nack_filters[mc].maybe_contains(entry.line) {
+                    self.nack_filters[mc].remove(entry.line);
+                }
+            }
+            // Evictions waiting on the PB tail may now drain.
+            let flushed = self.cores[tid].pb.flushed_count();
+            self.cores[tid].wbb.release_up_to(flushed);
+            self.unblock_pb_full(tid);
+            self.try_commit(tid);
+        } else {
+            // NACK: fall back to conservative flushing until the *current*
+            // epoch commits (§V-D). The NACKed address enters the MC's
+            // Bloom filter so LLC evictions of the line wait for the
+            // retry (§V-F).
+            if let Some(entry) = self.cores[tid].pb.get(entry_id) {
+                let mc = self.cfg.mc_of_addr(entry.line.byte_addr());
+                self.nack_filters[mc].insert(entry.line);
+            }
+            self.cores[tid].pb.mark_nacked(entry_id);
+            if !self.cores[tid].conservative {
+                self.cores[tid].conservative = true;
+                self.cores[tid].conservative_exit_ts = self.cores[tid].cur_ts;
+            }
+            self.wake_safe_nacked(tid);
+        }
+        self.schedule_flush(tid);
+        self.update_pb_blocked(tid);
+    }
+
+    fn wake_safe_nacked(&mut self, t: usize) {
+        // Only the oldest in-flight epoch can be safe; NACKed entries of
+        // committed epochs cannot exist (their acks never arrived).
+        let safe_ts = self.cores[t].et.oldest_safe_ts();
+        let woken = self.cores[t].pb.wake_nacked(|e| Some(e.ts) == safe_ts);
+        if woken > 0 {
+            self.schedule_flush(t);
+        }
+    }
+
+    fn unblock_pb_full(&mut self, t: usize) {
+        if matches!(self.cores[t].blocked, Some(Block::PbFull { .. }))
+            && !self.cores[t].pb.is_full()
+        {
+            let Some(Block::PbFull { since, op }) = self.cores[t].blocked.take() else {
+                unreachable!()
+            };
+            self.stats.cycles_stalled += self.now.saturating_sub(since).raw();
+            self.cores[t].burst.push_front(op);
+            self.schedule_step(t, self.now);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Epoch commit (HOPS / ASAP)
+    // ---------------------------------------------------------------
+
+    fn try_commit(&mut self, t: usize) {
+        if !self.uses_pb() {
+            return;
+        }
+        loop {
+            let Some(ts) = self.cores[t].et.commit_candidate() else {
+                return;
+            };
+            let mcs = self.cores[t].et.begin_commit(ts);
+            if mcs.is_empty() || self.model == ModelKind::Hops {
+                // HOPS has no recovery tables to clean: commit locally.
+                self.finalize_commit(t, ts);
+                continue;
+            }
+            let epoch = EpochId::new(ThreadId(t), ts);
+            self.stats.commit_msgs += mcs.len() as u64;
+            for mc in mcs {
+                // Commit messages are small control packets (address-free
+                // epoch tags), cheaper than 64-byte flush packets; §V-C's
+                // serialized commit chain would otherwise throttle
+                // small-epoch workloads.
+                let at = self.now + self.cfg.intercore_latency;
+                self.schedule(at, Event::CommitArrive { mc: mc.0, epoch });
+            }
+            return; // wait for acks; commits are in order
+        }
+    }
+
+    fn finalize_commit(&mut self, t: usize, ts: u64) {
+        let dependents = self.cores[t].et.finish_commit(ts);
+        let epoch = EpochId::new(ThreadId(t), ts);
+        self.deps.mark_committed(epoch);
+        self.stats.epochs_committed += 1;
+        self.global_ts[t] = Some(ts);
+
+        if self.model == ModelKind::Asap {
+            for d in dependents {
+                self.stats.cdr_msgs += 1;
+                let at = self.now + self.cfg.intercore_latency;
+                self.schedule(at, Event::CdrArrive { tid: d.0, src: epoch });
+            }
+        }
+        // Conservative-mode exit (§V-D): resume eager flushing once the
+        // epoch that was current at NACK time commits.
+        if self.cores[t].conservative && ts >= self.cores[t].conservative_exit_ts {
+            self.cores[t].conservative = false;
+        }
+        self.wake_safe_nacked(t);
+
+        // dfence release.
+        if matches!(self.cores[t].blocked, Some(Block::DFence { .. }))
+            && self.cores[t].et.is_empty()
+        {
+            let Some(Block::DFence { since }) = self.cores[t].blocked.take() else {
+                unreachable!()
+            };
+            self.stats.dfence_stalled += self.now.saturating_sub(since).raw();
+            self.open_next_epoch(t);
+            self.schedule_step(t, self.now);
+        }
+        // ofence waiting on a full ET.
+        if matches!(self.cores[t].blocked, Some(Block::EtFull { .. }))
+            && !self.cores[t].et.is_full()
+        {
+            let Some(Block::EtFull { since, op }) = self.cores[t].blocked.take() else {
+                unreachable!()
+            };
+            self.stats.ofence_stalled += self.now.saturating_sub(since).raw();
+            self.cores[t].burst.push_front(op);
+            self.schedule_step(t, self.now);
+        }
+        if self.model == ModelKind::Hops {
+            self.schedule_poll(t);
+        }
+        self.schedule_flush(t);
+        self.update_pb_blocked(t);
+    }
+
+    fn commit_arrive(&mut self, mc: usize, epoch: EpochId) {
+        let ack_at = self.mcs[mc].commit_epoch(self.now, epoch, &mut self.nvm, &mut self.stats);
+        let at = ack_at + self.cfg.intercore_latency;
+        self.schedule(at, Event::CommitAckArrive { epoch });
+    }
+
+    fn commit_ack_arrive(&mut self, epoch: EpochId) {
+        let t = epoch.thread.0;
+        if self.cores[t].et.commit_ack(epoch.ts) {
+            self.finalize_commit(t, epoch.ts);
+            self.try_commit(t);
+        }
+    }
+
+    fn cdr_arrive(&mut self, tid: usize, src: EpochId) {
+        if self.cores[tid].et.resolve_dep(src) {
+            self.schedule_flush(tid);
+            self.try_commit(tid);
+            self.update_pb_blocked(tid);
+        }
+        if self.model == ModelKind::Hops {
+            self.schedule_poll(tid);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // HOPS global-timestamp polling
+    // ---------------------------------------------------------------
+
+    fn schedule_poll(&mut self, t: usize) {
+        if self.model != ModelKind::Hops || self.cores[t].polling {
+            return;
+        }
+        if self.cores[t].et.oldest_unresolved_dep().is_none() {
+            return;
+        }
+        self.cores[t].polling = true;
+        let at = self.now + self.cfg.hops_poll_period;
+        self.schedule(at, Event::HopsPoll { tid: t });
+    }
+
+    fn hops_poll(&mut self, tid: usize) {
+        self.cores[tid].polling = false;
+        let Some(src) = self.cores[tid].et.oldest_unresolved_dep() else {
+            return;
+        };
+        self.stats.global_ts_reads += 1;
+        let committed = self.global_ts[src.thread.0].is_some_and(|c| c >= src.ts);
+        let at = self.now + self.cfg.hops_poll_latency;
+        if committed {
+            // Resolution takes effect after the register access.
+            self.schedule(at, Event::CdrArrive { tid, src });
+        } else {
+            self.cores[tid].polling = true;
+            let next = self.now + self.cfg.hops_poll_period;
+            self.schedule(next, Event::HopsPoll { tid });
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Baseline synchronous fences
+    // ---------------------------------------------------------------
+
+    fn start_sync_fence(&mut self, t: usize, is_dfence: bool) {
+        let dirty: VecDeque<(LineAddr, u64)> = self.cores[t]
+            .sync_dirty
+            .drain()
+            .collect();
+        if dirty.is_empty() {
+            self.finish_sync_epoch(t);
+            self.finish_op(t, Cycle(1));
+            return;
+        }
+        self.cores[t].blocked = Some(Block::SyncFence {
+            since: self.now,
+            remaining: dirty.len(),
+            pending: dirty,
+            is_dfence,
+        });
+        self.issue_sync_flushes(t);
+    }
+
+    fn issue_sync_flushes(&mut self, t: usize) {
+        let max = self.cfg.pb_max_inflight;
+        loop {
+            if self.cores[t].inflight >= max {
+                break;
+            }
+            let item = match &mut self.cores[t].blocked {
+                Some(Block::SyncFence { pending, .. }) => pending.pop_front(),
+                _ => None,
+            };
+            let Some((line, seq)) = item else {
+                break;
+            };
+            self.cores[t].inflight += 1;
+            let mc = self.cfg.mc_of_addr(line.byte_addr());
+            let at = self.now + self.cfg.pb_flush_latency;
+            self.schedule(at, Event::SyncFlushArrive { tid: t, line, seq, mc });
+        }
+    }
+
+    fn finish_sync_epoch(&mut self, t: usize) {
+        let e = self.cores[t].cur_epoch();
+        self.deps.mark_committed(e);
+        self.stats.epochs_committed += 1;
+        self.advance_epoch_untracked(t);
+    }
+
+    fn sync_flush_arrive(&mut self, tid: usize, line: LineAddr, seq: u64, mc: usize) {
+        // Use the journaled snapshot when available so recovered contents
+        // are attributable to a specific write (falls back to the live
+        // functional image in performance runs).
+        let data = self
+            .journal
+            .get(WriteSeq(seq))
+            .map(|e| e.data)
+            .unwrap_or_else(|| self.pm.snapshot_line(line));
+        let pkt = FlushPacket {
+            line,
+            data,
+            seq,
+            epoch: EpochId::new(ThreadId(tid), self.cores[tid].cur_ts),
+            early: false,
+        };
+        let outcome = self.mcs[mc].receive_flush(self.now, &pkt, &mut self.nvm, &mut self.stats);
+        match outcome {
+            FlushOutcome::Accepted { accept_at, .. } => {
+                let at = accept_at + self.cfg.pb_flush_latency;
+                self.schedule(at, Event::SyncFlushReply { tid });
+            }
+            FlushOutcome::Busy { retry_at } => {
+                let at = retry_at.max(self.now + Cycle(1));
+                self.schedule(at, Event::SyncFlushArrive { tid, line, seq, mc });
+            }
+            FlushOutcome::Nacked { .. } => unreachable!("safe flushes are never NACKed"),
+        }
+    }
+
+    fn sync_flush_reply(&mut self, tid: usize) {
+        self.cores[tid].inflight -= 1;
+        let done = if let Some(Block::SyncFence { remaining, .. }) = &mut self.cores[tid].blocked {
+            *remaining -= 1;
+            *remaining == 0
+        } else {
+            false
+        };
+        if done {
+            let Some(Block::SyncFence { since, is_dfence, .. }) = self.cores[tid].blocked.take()
+            else {
+                unreachable!()
+            };
+            let stall = self.now.saturating_sub(since).raw();
+            if is_dfence {
+                self.stats.dfence_stalled += stall;
+            } else {
+                self.stats.ofence_stalled += stall;
+            }
+            self.finish_sync_epoch(tid);
+            self.schedule_step(tid, self.now);
+        } else {
+            self.issue_sync_flushes(tid);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Accounting helpers
+    // ---------------------------------------------------------------
+
+    fn note_pb_occ_change(&mut self, t: usize, occ_before: usize) {
+        let dt = self.now.saturating_sub(self.cores[t].pb_occ_last).raw();
+        self.stats.pb_occupancy.record_weighted(occ_before, dt);
+        self.cores[t].pb_occ_last = self.now;
+    }
+
+    fn update_pb_blocked(&mut self, t: usize) {
+        if !self.uses_pb() {
+            return;
+        }
+        // Ordering-blocked (Figure 3): a write is sitting in the buffer
+        // that the flush policy refuses to issue. Buffers that are merely
+        // waiting for in-flight acks are bandwidth-limited, not blocked.
+        let blocked_now = {
+            let core = &self.cores[t];
+            core.pb.has_waiting()
+                && core
+                    .pb
+                    .next_flushable(|e| self.epoch_eligible(t, e), !self.relaxed_lines(t))
+                    .is_none()
+        };
+        match (self.cores[t].pb_blocked_since, blocked_now) {
+            (None, true) => self.cores[t].pb_blocked_since = Some(self.now),
+            (Some(s), false) => {
+                self.stats.cycles_blocked += self.now.saturating_sub(s).raw();
+                self.cores[t].pb_blocked_since = None;
+            }
+            _ => {}
+        }
+    }
+}
+
+fn block_name(b: &Block) -> &'static str {
+    match b {
+        Block::PbFull { .. } => "PbFull",
+        Block::EtFull { .. } => "EtFull",
+        Block::DFence { .. } => "DFence",
+        Block::SyncFence { .. } => "SyncFence",
+    }
+}

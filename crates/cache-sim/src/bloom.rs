@@ -1,0 +1,161 @@
+//! Counting Bloom filter for NACKed flush addresses (paper §V-F).
+//!
+//! When a flush is NACKed by a memory controller (full recovery table),
+//! the write's data sits in the persist buffer until it can be retried as
+//! a *safe* flush. If the corresponding cache line were evicted from the
+//! LLC in that window, a later load could read stale data from memory.
+//! ASAP populates a counting Bloom filter at the memory controller with
+//! NACKed flush addresses; LLC evictions that hit in the filter are
+//! delayed. Counting (rather than plain) Bloom filters are required so
+//! addresses can be *removed* when the flush is retried.
+
+use asap_sim_core::LineAddr;
+
+/// A counting Bloom filter over cache-line addresses.
+///
+/// # Example
+///
+/// ```
+/// use asap_cache_sim::CountingBloom;
+/// use asap_sim_core::LineAddr;
+///
+/// let mut f = CountingBloom::new(1024, 3);
+/// let line = LineAddr::containing(0x1000);
+/// f.insert(line);
+/// assert!(f.maybe_contains(line));
+/// f.remove(line);
+/// assert!(!f.maybe_contains(line));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountingBloom {
+    counters: Vec<u16>,
+    hashes: u32,
+    inserted: u64,
+}
+
+impl CountingBloom {
+    /// Create a filter with `slots` counters and `hashes` hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is not a power of two or `hashes == 0`.
+    pub fn new(slots: usize, hashes: u32) -> CountingBloom {
+        assert!(slots.is_power_of_two() && slots > 0, "slots must be a power of two");
+        assert!(hashes > 0, "need at least one hash");
+        CountingBloom {
+            counters: vec![0; slots],
+            hashes,
+            inserted: 0,
+        }
+    }
+
+    fn slot(&self, line: LineAddr, i: u32) -> usize {
+        // SplitMix64-style mix with a per-hash odd multiplier.
+        let mut x = line
+            .index()
+            .wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x as usize) & (self.counters.len() - 1)
+    }
+
+    /// Add `line` to the filter.
+    pub fn insert(&mut self, line: LineAddr) {
+        for i in 0..self.hashes {
+            let s = self.slot(line, i);
+            self.counters[s] = self.counters[s].saturating_add(1);
+        }
+        self.inserted += 1;
+    }
+
+    /// Remove one previous insertion of `line`.
+    ///
+    /// Removing a line that was never inserted may corrupt the filter
+    /// (standard counting-Bloom caveat); the ASAP protocol only removes
+    /// addresses it previously NACKed, so this cannot occur in the model.
+    pub fn remove(&mut self, line: LineAddr) {
+        for i in 0..self.hashes {
+            let s = self.slot(line, i);
+            self.counters[s] = self.counters[s].saturating_sub(1);
+        }
+        self.inserted = self.inserted.saturating_sub(1);
+    }
+
+    /// Whether `line` may be present (false positives possible, false
+    /// negatives impossible).
+    pub fn maybe_contains(&self, line: LineAddr) -> bool {
+        (0..self.hashes).all(|i| self.counters[self.slot(line, i)] > 0)
+    }
+
+    /// Number of lines currently believed inserted.
+    pub fn len(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Whether no lines are inserted.
+    pub fn is_empty(&self) -> bool {
+        self.inserted == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn la(i: u64) -> LineAddr {
+        LineAddr::containing(i * 64)
+    }
+
+    #[test]
+    fn insert_query_remove() {
+        let mut f = CountingBloom::new(256, 3);
+        assert!(f.is_empty());
+        f.insert(la(1));
+        f.insert(la(2));
+        assert!(f.maybe_contains(la(1)));
+        assert!(f.maybe_contains(la(2)));
+        assert_eq!(f.len(), 2);
+        f.remove(la(1));
+        assert!(!f.maybe_contains(la(1)));
+        assert!(f.maybe_contains(la(2)));
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = CountingBloom::new(1024, 3);
+        for i in 0..100 {
+            f.insert(la(i));
+        }
+        for i in 0..100 {
+            assert!(f.maybe_contains(la(i)), "false negative for line {i}");
+        }
+    }
+
+    #[test]
+    fn duplicate_insert_requires_duplicate_remove() {
+        let mut f = CountingBloom::new(256, 2);
+        f.insert(la(7));
+        f.insert(la(7));
+        f.remove(la(7));
+        assert!(f.maybe_contains(la(7)));
+        f.remove(la(7));
+        assert!(!f.maybe_contains(la(7)));
+    }
+
+    #[test]
+    fn low_false_positive_rate_when_sparse() {
+        let mut f = CountingBloom::new(4096, 3);
+        for i in 0..64 {
+            f.insert(la(i));
+        }
+        let fps = (1000..2000).filter(|&i| f.maybe_contains(la(i))).count();
+        assert!(fps < 20, "false positive rate too high: {fps}/1000");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_slot_count_panics() {
+        CountingBloom::new(100, 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! Cache hierarchy and coherence modelling for the ASAP reproduction.
+//!
+//! The paper's Table II configures a three-level MESI hierarchy (private
+//! 32 kB L1D, private 2 MB L2, shared 16 MB LLC). The role the hierarchy
+//! plays in the persistency results is:
+//!
+//! 1. it sets the *latency* of loads and stores (and therefore how fast a
+//!    core can generate persist traffic), and
+//! 2. the coherence protocol is how **cross-thread persist dependencies**
+//!    are detected: when a core's access is supplied by a remote core's
+//!    dirty line, the remote thread's current epoch number rides back on
+//!    the coherence reply (§IV-E).
+//!
+//! [`CoherenceHub`] implements both concerns with an
+//! *instant-coherence-with-latency-accounting* model: each access resolves
+//! atomically (state transitions apply immediately) while the returned
+//! [`AccessOutcome`] carries the latency the access would have taken and
+//! the identity of the supplying core, which the persistency models turn
+//! into epoch dependencies.
+//!
+//! The crate also provides the two small helper structures ASAP adds
+//! around the caches (§V-F):
+//!
+//! * [`WriteBackBuffer`] — delays private-cache evictions until preceding
+//!   persist-buffer entries have flushed, and
+//! * [`CountingBloom`] — the MC-side filter of NACKed flush addresses that
+//!   must not be evicted from the LLC while they sit in a persist buffer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bloom;
+mod coherence;
+mod setassoc;
+mod wbb;
+
+pub use bloom::CountingBloom;
+pub use coherence::{AccessOutcome, CacheStats, CoherenceHub, HitLevel};
+pub use setassoc::SetAssoc;
+pub use wbb::{WbbEntry, WriteBackBuffer};

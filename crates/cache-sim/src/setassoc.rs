@@ -1,0 +1,175 @@
+//! Generic set-associative array with true-LRU replacement.
+
+use asap_sim_core::LineAddr;
+
+/// A set-associative tag array tracking which cache lines are present.
+///
+/// Used for all three cache levels; data contents live in the functional
+/// `PmSpace`, so only presence and recency matter here.
+///
+/// # Example
+///
+/// ```
+/// use asap_cache_sim::SetAssoc;
+/// use asap_sim_core::LineAddr;
+///
+/// let mut c = SetAssoc::new(2, 2); // 2 sets x 2 ways
+/// assert!(c.touch(LineAddr::containing(0)).is_none());
+/// assert!(c.contains(LineAddr::containing(0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssoc {
+    sets: Vec<Vec<(LineAddr, u64)>>, // (line, last-use tick)
+    ways: usize,
+    tick: u64,
+}
+
+impl SetAssoc {
+    /// Create an array with `num_sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` is not a power of two or either argument is 0.
+    pub fn new(num_sets: usize, ways: usize) -> SetAssoc {
+        assert!(num_sets.is_power_of_two() && num_sets > 0, "sets must be a power of two");
+        assert!(ways > 0, "ways must be nonzero");
+        SetAssoc {
+            sets: vec![Vec::with_capacity(ways); num_sets],
+            ways,
+            tick: 0,
+        }
+    }
+
+    /// Build from a capacity in bytes and associativity (64-byte lines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the implied set count is not a power of two.
+    pub fn with_capacity_bytes(capacity: u64, ways: usize) -> SetAssoc {
+        let lines = (capacity / 64) as usize;
+        let sets = lines / ways;
+        SetAssoc::new(sets, ways)
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.index() as usize) & (self.sets.len() - 1)
+    }
+
+    /// Whether `line` is present (does not update recency).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        let s = self.set_index(line);
+        self.sets[s].iter().any(|&(l, _)| l == line)
+    }
+
+    /// Insert or refresh `line`; returns the victim evicted to make room,
+    /// if any.
+    pub fn touch(&mut self, line: LineAddr) -> Option<LineAddr> {
+        self.tick += 1;
+        let tick = self.tick;
+        let s = self.set_index(line);
+        let set = &mut self.sets[s];
+        if let Some(entry) = set.iter_mut().find(|(l, _)| *l == line) {
+            entry.1 = tick;
+            return None;
+        }
+        if set.len() < self.ways {
+            set.push((line, tick));
+            return None;
+        }
+        // Evict true-LRU victim.
+        let (victim_idx, _) = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(_, t))| t)
+            .expect("nonempty set");
+        let victim = set[victim_idx].0;
+        set[victim_idx] = (line, tick);
+        Some(victim)
+    }
+
+    /// Remove `line` if present; returns whether it was present.
+    pub fn invalidate(&mut self, line: LineAddr) -> bool {
+        let s = self.set_index(line);
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|&(l, _)| l == line) {
+            set.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of lines currently present.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn la(i: u64) -> LineAddr {
+        LineAddr::containing(i * 64)
+    }
+
+    #[test]
+    fn fills_before_evicting() {
+        let mut c = SetAssoc::new(1, 4);
+        for i in 0..4 {
+            assert_eq!(c.touch(la(i)), None);
+        }
+        assert_eq!(c.occupancy(), 4);
+        // Fifth line evicts the LRU (line 0)
+        assert_eq!(c.touch(la(4)), Some(la(0)));
+        assert!(!c.contains(la(0)));
+        assert!(c.contains(la(4)));
+    }
+
+    #[test]
+    fn touch_refreshes_lru() {
+        let mut c = SetAssoc::new(1, 2);
+        c.touch(la(0));
+        c.touch(la(1));
+        c.touch(la(0)); // 0 becomes MRU
+        assert_eq!(c.touch(la(2)), Some(la(1)));
+    }
+
+    #[test]
+    fn different_sets_do_not_interfere() {
+        let mut c = SetAssoc::new(2, 1);
+        assert_eq!(c.touch(la(0)), None); // set 0
+        assert_eq!(c.touch(la(1)), None); // set 1
+        assert_eq!(c.touch(la(2)), Some(la(0))); // set 0 again
+        assert!(c.contains(la(1)));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = SetAssoc::new(1, 2);
+        c.touch(la(3));
+        assert!(c.invalidate(la(3)));
+        assert!(!c.contains(la(3)));
+        assert!(!c.invalidate(la(3)));
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn capacity_from_bytes() {
+        let c = SetAssoc::with_capacity_bytes(32 * 1024, 8); // 32kB L1
+        assert_eq!(c.capacity_lines(), 512);
+        let c = SetAssoc::with_capacity_bytes(2 * 1024 * 1024, 8); // 2MB L2
+        assert_eq!(c.capacity_lines(), 32768);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panics() {
+        SetAssoc::new(3, 2);
+    }
+}

@@ -1,0 +1,155 @@
+//! Write-back buffer (WBB) for private-cache evictions (paper §V-F).
+//!
+//! A dirty PM line can be evicted from a private cache while writes that
+//! must persist *before* it are still queued in the persist buffer.
+//! StrandWeaver introduced (and ASAP reuses) a small write-back buffer:
+//! the eviction parks in the WBB, tagged with the persist buffer's tail
+//! index at eviction time, and completes only once the PB has flushed past
+//! that index.
+
+use asap_sim_core::LineAddr;
+use std::collections::VecDeque;
+
+/// One parked eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WbbEntry {
+    /// The evicted line.
+    pub line: LineAddr,
+    /// PB tail index recorded when the eviction entered the WBB; the
+    /// eviction may complete once the PB has flushed every entry up to
+    /// this index.
+    pub pb_tail: u64,
+}
+
+/// The write-back buffer: a FIFO of parked evictions.
+///
+/// # Example
+///
+/// ```
+/// use asap_cache_sim::WriteBackBuffer;
+/// use asap_sim_core::LineAddr;
+///
+/// let mut wbb = WriteBackBuffer::new(4);
+/// wbb.park(LineAddr::containing(0x40), 10);
+/// assert_eq!(wbb.release_up_to(9).len(), 0);
+/// assert_eq!(wbb.release_up_to(10).len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WriteBackBuffer {
+    entries: VecDeque<WbbEntry>,
+    capacity: usize,
+    max_occupancy: usize,
+}
+
+impl WriteBackBuffer {
+    /// Create a WBB with the given capacity (paper: "a small buffer").
+    pub fn new(capacity: usize) -> WriteBackBuffer {
+        WriteBackBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            max_occupancy: 0,
+        }
+    }
+
+    /// Park an eviction of `line` that must wait for the PB to flush
+    /// through `pb_tail`. Returns `false` (and drops nothing) if the WBB
+    /// is full — the caller must then stall the eviction.
+    pub fn park(&mut self, line: LineAddr, pb_tail: u64) -> bool {
+        if self.entries.len() >= self.capacity {
+            return false;
+        }
+        self.entries.push_back(WbbEntry { line, pb_tail });
+        self.max_occupancy = self.max_occupancy.max(self.entries.len());
+        true
+    }
+
+    /// Release all evictions whose recorded PB tail is `<= flushed_index`,
+    /// in FIFO order, and return them.
+    pub fn release_up_to(&mut self, flushed_index: u64) -> Vec<WbbEntry> {
+        let mut released = Vec::new();
+        while let Some(front) = self.entries.front() {
+            if front.pb_tail <= flushed_index {
+                released.push(self.entries.pop_front().expect("front exists"));
+            } else {
+                break;
+            }
+        }
+        released
+    }
+
+    /// Whether the buffer currently holds `line`.
+    pub fn holds(&self, line: LineAddr) -> bool {
+        self.entries.iter().any(|e| e.line == line)
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// High-water mark of occupancy over the run.
+    pub fn max_occupancy(&self) -> usize {
+        self.max_occupancy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn la(i: u64) -> LineAddr {
+        LineAddr::containing(i * 64)
+    }
+
+    #[test]
+    fn park_and_release_in_fifo_order() {
+        let mut w = WriteBackBuffer::new(8);
+        assert!(w.park(la(1), 5));
+        assert!(w.park(la(2), 3));
+        assert!(w.park(la(3), 9));
+        // Entry 1 (tail 5) blocks entry 2 (tail 3)? No: FIFO head is
+        // la(1) with tail 5; releasing up to 3 frees nothing because the
+        // head still waits.
+        assert!(w.release_up_to(3).is_empty());
+        let r = w.release_up_to(5);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].line, la(1));
+        assert_eq!(r[1].line, la(2));
+        assert_eq!(w.len(), 1);
+        let r = w.release_up_to(9);
+        assert_eq!(r.len(), 1);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn full_wbb_rejects() {
+        let mut w = WriteBackBuffer::new(2);
+        assert!(w.park(la(1), 1));
+        assert!(w.park(la(2), 2));
+        assert!(!w.park(la(3), 3));
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn holds_queries() {
+        let mut w = WriteBackBuffer::new(4);
+        w.park(la(4), 7);
+        assert!(w.holds(la(4)));
+        assert!(!w.holds(la(5)));
+    }
+
+    #[test]
+    fn max_occupancy_tracks_high_water() {
+        let mut w = WriteBackBuffer::new(4);
+        w.park(la(1), 1);
+        w.park(la(2), 2);
+        w.release_up_to(2);
+        w.park(la(3), 3);
+        assert_eq!(w.max_occupancy(), 2);
+    }
+}

@@ -1,0 +1,9 @@
+//! Runs the DESIGN.md ablations: RT size, PB size, NVM latency, MC count.
+use asap_harness::experiments::{ablations};
+
+fn main() {
+    let scale = asap_harness::cli_scale();
+    for t in ablations(scale) {
+        asap_harness::cli_emit(&t);
+    }
+}

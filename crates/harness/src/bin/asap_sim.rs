@@ -1,0 +1,119 @@
+//! `asap-sim`: the general-purpose simulator CLI.
+//!
+//! ```text
+//! asap_sim [--workload cceh] [--model asap] [--flavor rp] [--threads 4]
+//!          [--ops 200] [--seed 42] [--zipf THETA] [--crash-at CYCLES]
+//!          [--verify]
+//! ```
+//!
+//! Runs one simulation and prints the gem5-style statistics (Table VI
+//! names). With `--crash-at`, cuts power at the given cycle, runs the
+//! §VI consistency oracle and (with `--verify`) the structure's recovery
+//! verifier.
+
+use asap_core::{Flavor, ModelKind, SimBuilder};
+use asap_sim_core::{Cycle, SimConfig};
+use asap_workloads::{make_workload, recovery, WorkloadKind, WorkloadParams};
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: asap_sim [--workload W] [--model baseline|hops|asap|eadr|bbb] \
+             [--flavor ep|rp] [--threads N] [--ops N] [--seed N] \
+             [--zipf THETA] [--crash-at CYCLES] [--verify]\n\nworkloads: {}",
+            WorkloadKind::all()
+                .iter()
+                .map(|w| w.label())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return;
+    }
+
+    let workload: WorkloadKind = arg(&args, "--workload")
+        .map(|s| s.parse().expect("unknown workload"))
+        .unwrap_or(WorkloadKind::Cceh);
+    let model = match arg(&args, "--model").as_deref() {
+        Some("baseline") => ModelKind::Baseline,
+        Some("hops") => ModelKind::Hops,
+        Some("eadr") => ModelKind::Eadr,
+        Some("bbb") => ModelKind::Bbb,
+        _ => ModelKind::Asap,
+    };
+    let flavor = match arg(&args, "--flavor").as_deref() {
+        Some("ep" | "EP") => Flavor::Epoch,
+        _ => Flavor::Release,
+    };
+    let threads: usize = arg(&args, "--threads").and_then(|s| s.parse().ok()).unwrap_or(4);
+    let ops: u64 = arg(&args, "--ops").and_then(|s| s.parse().ok()).unwrap_or(200);
+    let seed: u64 = arg(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let crash_at: Option<u64> = arg(&args, "--crash-at").and_then(|s| s.parse().ok());
+    let verify = args.iter().any(|a| a == "--verify");
+
+    let zipf: Option<f64> = arg(&args, "--zipf").and_then(|s| s.parse().ok());
+    let params = WorkloadParams {
+        threads,
+        ops_per_thread: ops,
+        seed,
+        zipf_theta: zipf,
+        ..Default::default()
+    };
+    let cfg = SimConfig::builder().cores(threads).build().expect("valid config");
+    let mut sim = SimBuilder::new(cfg, model, flavor)
+        .programs(make_workload(workload, &params))
+        .with_journal()
+        .build();
+
+    eprintln!("simulating {workload} under {model}_{flavor} on {threads} threads, {ops} ops/thread (seed {seed})");
+
+    if let Some(at) = crash_at {
+        let report = sim.crash_at(Cycle(at));
+        println!("--- crash at {at} cycles ---");
+        println!("undo records applied : {}", report.undo_records_applied);
+        println!("epochs committed     : {}", report.epochs_committed);
+        println!("epochs visible       : {}", report.epochs_visible);
+        if report.is_consistent() {
+            println!("oracle               : CONSISTENT");
+        } else {
+            println!("oracle               : VIOLATIONS");
+            for v in &report.violations {
+                println!("  - {v}");
+            }
+            std::process::exit(1);
+        }
+        if verify {
+            match recovery::verifier_for(workload) {
+                Some(f) => {
+                    let r = f(sim.nvm());
+                    println!(
+                        "recovery walk        : {} live, {} torn, {}",
+                        r.live_entries,
+                        r.torn_entries,
+                        if r.is_recoverable() { "RECOVERABLE" } else { "BROKEN" }
+                    );
+                    for v in &r.violations {
+                        println!("  - {v}");
+                    }
+                    if !r.is_recoverable() {
+                        std::process::exit(1);
+                    }
+                }
+                None => println!("recovery walk        : (no verifier for {workload})"),
+            }
+        }
+    } else {
+        let out = sim.run_to_completion();
+        println!("--- run complete: {} cycles, {} ops ---", out.cycles.raw(), sim.stats().ops_completed);
+        print!("{}", sim.stats().snapshot().to_stats_txt());
+        println!("rtMaxOccupancy           {}", sim.rt_max_occupancy());
+        println!("mediaUtilization         {:.3}", sim.media_utilization());
+    }
+}

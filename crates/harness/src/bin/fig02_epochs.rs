@@ -1,0 +1,8 @@
+//! Regenerates Figure 2: epochs and cross-thread dependencies per window.
+use asap_harness::experiments::{fig02_epochs};
+
+fn main() {
+    let scale = asap_harness::cli_scale();
+    let t = fig02_epochs(scale);
+    asap_harness::cli_emit(&t);
+}

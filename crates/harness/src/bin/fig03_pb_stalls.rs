@@ -1,0 +1,8 @@
+//! Regenerates Figure 3: % cycles persist buffers blocked under HOPS.
+use asap_harness::experiments::{fig03_pb_stalls};
+
+fn main() {
+    let scale = asap_harness::cli_scale();
+    let t = fig03_pb_stalls(scale);
+    asap_harness::cli_emit(&t);
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 8: speedup over baseline, plus the §VII-A summary.
+use asap_harness::experiments::{fig08_performance, fig08_summary};
+
+fn main() {
+    let scale = asap_harness::cli_scale();
+    let t = fig08_performance(scale);
+    asap_harness::cli_emit(&t);
+    asap_harness::cli_emit(&fig08_summary(&t));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 9: PM writes, ASAP normalized to HOPS.
+use asap_harness::experiments::{fig09_writes};
+
+fn main() {
+    let scale = asap_harness::cli_scale();
+    asap_harness::cli_emit(&fig09_writes(scale));
+}

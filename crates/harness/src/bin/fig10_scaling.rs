@@ -1,0 +1,7 @@
+//! Regenerates Figure 10: core-count scaling, HOPS vs ASAP.
+use asap_harness::experiments::{fig10_scaling};
+
+fn main() {
+    let scale = asap_harness::cli_scale();
+    asap_harness::cli_emit(&fig10_scaling(scale));
+}

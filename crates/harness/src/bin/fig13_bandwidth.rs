@@ -1,0 +1,7 @@
+//! Regenerates Figure 13: write-bandwidth utilization microbenchmark.
+use asap_harness::experiments::{fig13_bandwidth};
+
+fn main() {
+    let scale = asap_harness::cli_scale();
+    asap_harness::cli_emit(&fig13_bandwidth(scale));
+}

@@ -1,0 +1,24 @@
+//! Prints a gem5-style stats listing (Table VI names) for one run.
+//! Usage: `stats_txt [workload] [model] [flavor]`
+use asap_core::{Flavor, ModelKind};
+use asap_harness::experiments::{stats_txt, ExperimentScale};
+use asap_workloads::WorkloadKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let w: WorkloadKind = args
+        .get(1)
+        .map(|s| s.parse().expect("workload name"))
+        .unwrap_or(WorkloadKind::Cceh);
+    let model = match args.get(2).map(String::as_str) {
+        Some("baseline") => ModelKind::Baseline,
+        Some("hops") => ModelKind::Hops,
+        Some("eadr") => ModelKind::Eadr,
+        _ => ModelKind::Asap,
+    };
+    let flavor = match args.get(3).map(String::as_str) {
+        Some("ep" | "EP") => Flavor::Epoch,
+        _ => Flavor::Release,
+    };
+    print!("{}", stats_txt(model, flavor, w, ExperimentScale::quick()));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table V (hardware cost) and the §VII-D drain comparison.
+fn main() {
+    asap_harness::cli_emit(&asap_harness::hwcost::table5());
+    asap_harness::cli_emit(&asap_harness::hwcost::drain_comparison(32));
+}

@@ -1,0 +1,168 @@
+//! Analytical hardware-cost model (Table V substitute).
+//!
+//! The paper ran CACTI 7 at 22 nm to size the persist buffer, epoch table
+//! and recovery table. CACTI is a C++ tool we cannot ship; instead we use
+//! a first-order analytical CAM/SRAM model with per-bit constants
+//! *calibrated to the paper's own Table V numbers* for the 32 kB L1
+//! reference point, then applied to the ASAP structures sized per
+//! Fig. 6b. The point of Table V — the added buffers are 1–2 orders of
+//! magnitude cheaper than an L1 — is preserved by construction.
+
+use crate::report::Table;
+
+/// Geometry of one buffer: entries × bits per entry, CAM or RAM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferGeometry {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Number of entries.
+    pub entries: u64,
+    /// Bits per entry.
+    pub bits_per_entry: u64,
+    /// Content-addressable (CAM) or plain SRAM.
+    pub cam: bool,
+}
+
+/// Cost estimate for one buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimate {
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Access latency in ns.
+    pub access_ns: f64,
+    /// Write energy in pJ.
+    pub write_pj: f64,
+    /// Read energy in pJ.
+    pub read_pj: f64,
+}
+
+// Per-bit constants calibrated so the 32 kB / 8-way L1 reference lands on
+// the paper's Table V row (0.759 mm², 1.403 ns, ~328 pJ).
+const AREA_PER_BIT_MM2: f64 = 0.759 / (32.0 * 1024.0 * 8.0);
+const ENERGY_PER_BIT_PJ: f64 = 327.86 / (32.0 * 1024.0 * 8.0);
+// CAM cells are roughly 2x SRAM cells in area and energy.
+const CAM_FACTOR: f64 = 2.0;
+// Latency scales with sqrt(capacity) off the L1 reference point.
+const L1_BITS: f64 = 32.0 * 1024.0 * 8.0;
+const L1_LATENCY_NS: f64 = 1.403;
+
+/// Estimate the cost of a buffer.
+pub fn estimate(geom: BufferGeometry) -> CostEstimate {
+    let bits = (geom.entries * geom.bits_per_entry) as f64;
+    let factor = if geom.cam { CAM_FACTOR } else { 1.0 };
+    let area = bits * AREA_PER_BIT_MM2 * factor;
+    // sqrt scaling with a wire/decoder floor.
+    let access = (L1_LATENCY_NS * (bits * factor / L1_BITS).sqrt()).max(0.15);
+    let write = bits * ENERGY_PER_BIT_PJ * factor;
+    // Reads of CAMs search all entries; reads of RAM cost ~writes.
+    let read = write * if geom.cam { 1.0 } else { 0.98 };
+    CostEstimate {
+        area_mm2: area,
+        access_ns: access,
+        write_pj: write,
+        read_pj: read,
+    }
+}
+
+/// ASAP's structures as sized in Fig. 6b / Table II.
+pub fn asap_buffers() -> [BufferGeometry; 4] {
+    [
+        // PB entry: 64B data + address (~46b) + timestamp (32b) + state.
+        BufferGeometry { name: "Persist Buffer", entries: 32, bits_per_entry: 512 + 86, cam: true },
+        // ET entry: timestamp, pending-write counter, dep thread+ts —
+        // no address or data fields (Fig. 6b), hence tiny.
+        BufferGeometry { name: "Epoch Table", entries: 32, bits_per_entry: 40, cam: true },
+        // RT entry: 64B data + address + threadID + timestamp.
+        BufferGeometry { name: "Recovery Table", entries: 32, bits_per_entry: 512 + 96, cam: true },
+        // Reference row.
+        BufferGeometry { name: "32KB L1 cache", entries: 512, bits_per_entry: 512, cam: false },
+    ]
+}
+
+/// Regenerate Table V.
+pub fn table5() -> Table {
+    let mut t = Table::new(
+        "Table V: hardware overheads of ASAP (analytical model calibrated to CACTI@22nm)",
+        &["structure", "area_mm2", "access_ns", "write_pj", "read_pj"],
+    );
+    for g in asap_buffers() {
+        let c = estimate(g);
+        t.push_row(vec![
+            g.name.to_string(),
+            format!("{:.3}", c.area_mm2),
+            format!("{:.3}", c.access_ns),
+            format!("{:.2}", c.write_pj),
+            format!("{:.2}", c.read_pj),
+        ]);
+    }
+    t
+}
+
+/// ADR drain-size comparison (§VII-D): bytes flushed on power failure.
+pub fn drain_comparison(cores: usize) -> Table {
+    let mut t = Table::new(
+        "ADR drain on power failure (server with the Table II cache sizes)",
+        &["design", "bytes_to_flush", "battery"],
+    );
+    // eADR: flush all dirty cache blocks; assume 50% dirty (paper).
+    let cache_bytes = cores as u64 * (32 * 1024 + 2 * 1024 * 1024) + 16 * 1024 * 1024;
+    t.push_row(vec![
+        "eADR".into(),
+        format!("{}", cache_bytes / 2),
+        "large".into(),
+    ]);
+    // BBB: one battery-backed buffer per core (~2KB each per the paper's
+    // 64KB-for-32-cores figure).
+    t.push_row(vec![
+        "BBB".into(),
+        format!("{}", cores as u64 * 2 * 1024),
+        "medium".into(),
+    ]);
+    // ASAP: recovery tables only — 32 entries x ~76B per MC, 2 MCs.
+    t.push_row(vec!["ASAP".into(), format!("{}", 2 * 32 * 76), "none".into()]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_reference_matches_paper() {
+        let l1 = asap_buffers()[3];
+        let c = estimate(l1);
+        assert!((c.area_mm2 - 0.759).abs() < 1e-6);
+        assert!((c.access_ns - 1.403).abs() < 1e-6);
+        assert!((c.write_pj - 327.86).abs() < 0.5);
+    }
+
+    #[test]
+    fn asap_buffers_are_much_cheaper_than_l1() {
+        let [pb, et, rt, l1] = asap_buffers();
+        let (pb, et, rt, l1) = (estimate(pb), estimate(et), estimate(rt), estimate(l1));
+        // Table V's qualitative claim: PB/RT ~ 8x smaller than L1, ET tiny.
+        assert!(pb.area_mm2 < l1.area_mm2 / 4.0);
+        assert!(rt.area_mm2 < l1.area_mm2 / 4.0);
+        assert!(et.area_mm2 < l1.area_mm2 / 50.0);
+        assert!(pb.access_ns < l1.access_ns);
+        assert!(et.write_pj < 5.0);
+    }
+
+    #[test]
+    fn table5_renders() {
+        let t = table5();
+        assert_eq!(t.len(), 4);
+        assert!(t.cell("Epoch Table", "area_mm2").is_some());
+        assert!(t.to_markdown().contains("Recovery Table"));
+    }
+
+    #[test]
+    fn drain_sizes_ordered() {
+        let t = drain_comparison(32);
+        let eadr: u64 = t.cell("eADR", "bytes_to_flush").unwrap().parse().unwrap();
+        let bbb: u64 = t.cell("BBB", "bytes_to_flush").unwrap().parse().unwrap();
+        let asap: u64 = t.cell("ASAP", "bytes_to_flush").unwrap().parse().unwrap();
+        assert!(eadr > bbb && bbb > asap);
+        assert!(asap < 8 * 1024, "paper: ASAP flushes < 4KB per MC");
+    }
+}

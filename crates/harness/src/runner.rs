@@ -1,0 +1,154 @@
+//! One-simulation runner: builds the system for a (config, model,
+//! flavour, workload) tuple and extracts the metrics the figures need.
+
+use asap_core::{Flavor, ModelKind, SimBuilder};
+use asap_sim_core::{Cycle, SimConfig, Stats};
+use asap_workloads::{make_workload, WorkloadKind, WorkloadParams};
+
+/// Everything needed to reproduce one simulation.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Hardware configuration (Table II defaults via
+    /// [`SimConfig::paper`]).
+    pub config: SimConfig,
+    /// Persistency hardware design.
+    pub model: ModelKind,
+    /// Persistency flavour (EP/RP).
+    pub flavor: Flavor,
+    /// Workload to run.
+    pub workload: WorkloadKind,
+    /// Logical operations per thread.
+    pub ops_per_thread: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Metrics extracted from one finished (or truncated) run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// End time in cycles.
+    pub cycles: u64,
+    /// Logical operations completed.
+    pub ops: u64,
+    /// Full statistics block.
+    pub stats: Stats,
+    /// Max recovery-table occupancy across MCs (Figure 12).
+    pub rt_max_occupancy: usize,
+    /// NVM media line writes (Figure 9).
+    pub media_writes: u64,
+    /// Write-bandwidth utilization fraction (Figure 13).
+    pub media_utilization: f64,
+    /// Whether every thread retired (false for windowed runs).
+    pub all_done: bool,
+}
+
+fn params_for(spec: &RunSpec) -> WorkloadParams {
+    WorkloadParams {
+        threads: spec.config.num_cores,
+        ops_per_thread: spec.ops_per_thread,
+        seed: spec.seed,
+        ..WorkloadParams::default()
+    }
+}
+
+fn build_sim(spec: &RunSpec) -> asap_core::Sim {
+    let params = params_for(spec);
+    let programs = make_workload(spec.workload, &params);
+    SimBuilder::new(spec.config.clone(), spec.model, spec.flavor)
+        .programs(programs)
+        .build()
+}
+
+fn outcome(sim: &asap_core::Sim, all_done: bool) -> RunOutcome {
+    RunOutcome {
+        cycles: sim.now().raw(),
+        ops: sim.stats().ops_completed,
+        stats: sim.stats().clone(),
+        rt_max_occupancy: sim.rt_max_occupancy(),
+        media_writes: sim.media_writes(),
+        media_utilization: sim.media_utilization(),
+        all_done,
+    }
+}
+
+/// Run the workload to completion and collect metrics.
+pub fn run_once(spec: &RunSpec) -> RunOutcome {
+    let mut sim = build_sim(spec);
+    let out = sim.run_to_completion();
+    outcome(&sim, out.all_done)
+}
+
+/// Run for a fixed simulated window (Figure 2 uses 1 ms) and collect
+/// metrics; the workload is sized by `spec.ops_per_thread` and should be
+/// large enough not to finish early.
+pub fn run_window(spec: &RunSpec, window: Cycle) -> RunOutcome {
+    let mut sim = build_sim(spec);
+    let out = sim.run_for(window);
+    outcome(&sim, out.all_done)
+}
+
+/// Run with a warmup region: simulate `warmup` cycles, reset the
+/// statistics (gem5's warmup → ROI transition), then run to completion.
+/// The reported cycle count covers the ROI only.
+pub fn run_roi(spec: &RunSpec, warmup: Cycle) -> RunOutcome {
+    let mut sim = build_sim(spec);
+    sim.run_for(warmup);
+    sim.reset_stats();
+    let start = sim.now();
+    let out = sim.run_to_completion();
+    let mut o = outcome(&sim, out.all_done);
+    o.cycles = sim.now().raw().saturating_sub(start.raw());
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(model: ModelKind, workload: WorkloadKind) -> RunSpec {
+        RunSpec {
+            config: SimConfig::paper(),
+            model,
+            flavor: Flavor::Release,
+            workload,
+            ops_per_thread: 20,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn run_once_produces_metrics() {
+        let out = run_once(&spec(ModelKind::Asap, WorkloadKind::Queue));
+        assert!(out.all_done);
+        assert!(out.cycles > 0);
+        assert_eq!(out.ops, 80); // 4 threads x 20 ops
+        assert!(out.media_writes > 0);
+    }
+
+    #[test]
+    fn run_window_truncates() {
+        let mut s = spec(ModelKind::Asap, WorkloadKind::Cceh);
+        s.ops_per_thread = 100_000; // will not finish in the window
+        let out = run_window(&s, Cycle(20_000));
+        assert!(!out.all_done);
+        assert!(out.cycles <= 20_000);
+    }
+
+    #[test]
+    fn run_roi_excludes_warmup() {
+        let s = spec(ModelKind::Asap, WorkloadKind::Queue);
+        let full = run_once(&s);
+        let roi = run_roi(&s, Cycle(5_000));
+        assert!(roi.cycles < full.cycles, "ROI must exclude the warmup");
+        assert!(roi.ops <= full.ops);
+        assert!(roi.all_done);
+    }
+
+    #[test]
+    fn same_spec_same_outcome() {
+        let a = run_once(&spec(ModelKind::Hops, WorkloadKind::PClht));
+        let b = run_once(&spec(ModelKind::Hops, WorkloadKind::PClht));
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.media_writes, b.media_writes);
+    }
+}

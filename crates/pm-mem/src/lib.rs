@@ -1,0 +1,36 @@
+//! Functional persistent-memory modelling for the ASAP reproduction.
+//!
+//! The simulator is a *functional + timing co-simulation*: workloads run as
+//! ordinary Rust code against a byte-addressable [`PmSpace`] (the
+//! "architectural" contents of persistent memory as the program sees it
+//! through the cache hierarchy), while a separate [`NvmImage`] tracks what
+//! has *actually persisted* to the NVM media at any instant of simulated
+//! time. The gap between the two is exactly what a crash exposes, and what
+//! ASAP's recovery tables must repair.
+//!
+//! Components:
+//!
+//! * [`PmSpace`] — paged, sparse, byte-addressable memory with typed
+//!   accessors. This is the program-visible image.
+//! * [`PmAllocator`] — a bump + free-list allocator used by the workload
+//!   data structures.
+//! * [`NvmImage`] — line-granularity persisted state, each line tagged
+//!   with the journal sequence number and epoch of the write that owns its
+//!   current value. Undo-record application during crash handling rolls
+//!   lines back here.
+//! * [`WriteJournal`] — the golden history of line writes in volatile
+//!   (coherence) order, used by the crash-consistency oracle in
+//!   `asap-core` to machine-check the paper's Theorems 1 and 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alloc;
+mod journal;
+mod nvm;
+mod space;
+
+pub use alloc::{AllocError, PmAllocator};
+pub use journal::{JournalEntry, WriteJournal, WriteSeq};
+pub use nvm::{LineRecord, NvmImage};
+pub use space::{LineSnapshot, PmSpace};

@@ -1,0 +1,184 @@
+//! Byte-addressable functional persistent-memory space.
+
+use asap_sim_core::{LineAddr, CACHE_LINE_BYTES};
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_BYTES: usize = 1 << PAGE_SHIFT; // 4 kB
+
+/// A 64-byte snapshot of one cache line's contents.
+pub type LineSnapshot = [u8; CACHE_LINE_BYTES as usize];
+
+/// Sparse, paged, byte-addressable memory: the *program-visible* contents
+/// of persistent memory (i.e. what loads see through the cache
+/// hierarchy).
+///
+/// Unbacked bytes read as zero, mirroring freshly-mapped PM pages.
+///
+/// # Example
+///
+/// ```
+/// use asap_pm_mem::PmSpace;
+/// let mut pm = PmSpace::new();
+/// pm.write_u64(0x1000, 0xdead_beef);
+/// assert_eq!(pm.read_u64(0x1000), 0xdead_beef);
+/// assert_eq!(pm.read_u64(0x2000), 0); // unbacked reads as zero
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PmSpace {
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+}
+
+impl PmSpace {
+    /// Create an empty space.
+    pub fn new() -> PmSpace {
+        PmSpace::default()
+    }
+
+    fn page_of(addr: u64) -> (u64, usize) {
+        (addr >> PAGE_SHIFT, (addr as usize) & (PAGE_BYTES - 1))
+    }
+
+    fn page_mut(&mut self, pno: u64) -> &mut [u8; PAGE_BYTES] {
+        self.pages
+            .entry(pno)
+            .or_insert_with(|| Box::new([0u8; PAGE_BYTES]))
+    }
+
+    /// Read one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        let (pno, off) = Self::page_of(addr);
+        self.pages.get(&pno).map_or(0, |p| p[off])
+    }
+
+    /// Write one byte.
+    pub fn write_u8(&mut self, addr: u64, v: u8) {
+        let (pno, off) = Self::page_of(addr);
+        self.page_mut(pno)[off] = v;
+    }
+
+    /// Read `buf.len()` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.read_u8(addr + i as u64);
+        }
+    }
+
+    /// Write `data` starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
+        for (i, &b) in data.iter().enumerate() {
+            self.write_u8(addr + i as u64, b);
+        }
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut buf = [0u8; 8];
+        self.read_bytes(addr, &mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Write a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, v: u64) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        let mut buf = [0u8; 4];
+        self.read_bytes(addr, &mut buf);
+        u32::from_le_bytes(buf)
+    }
+
+    /// Write a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u64, v: u32) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Snapshot the 64-byte cache line containing `line`.
+    pub fn snapshot_line(&self, line: LineAddr) -> LineSnapshot {
+        let mut buf = [0u8; CACHE_LINE_BYTES as usize];
+        self.read_bytes(line.byte_addr(), &mut buf);
+        buf
+    }
+
+    /// Overwrite the 64-byte cache line at `line`.
+    pub fn write_line(&mut self, line: LineAddr, data: &LineSnapshot) {
+        self.write_bytes(line.byte_addr(), data);
+    }
+
+    /// Number of backed 4 kB pages (diagnostics).
+    pub fn backed_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialised() {
+        let pm = PmSpace::new();
+        assert_eq!(pm.read_u8(0), 0);
+        assert_eq!(pm.read_u64(0xdead_0000), 0);
+        assert_eq!(pm.backed_pages(), 0);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let mut pm = PmSpace::new();
+        pm.write_u64(0x100, u64::MAX - 3);
+        assert_eq!(pm.read_u64(0x100), u64::MAX - 3);
+    }
+
+    #[test]
+    fn u32_round_trip() {
+        let mut pm = PmSpace::new();
+        pm.write_u32(0x104, 0xabcd_1234);
+        assert_eq!(pm.read_u32(0x104), 0xabcd_1234);
+    }
+
+    #[test]
+    fn cross_page_write() {
+        let mut pm = PmSpace::new();
+        let addr = (1 << PAGE_SHIFT) - 4; // straddles a page boundary
+        pm.write_u64(addr as u64, 0x1122_3344_5566_7788);
+        assert_eq!(pm.read_u64(addr as u64), 0x1122_3344_5566_7788);
+        assert_eq!(pm.backed_pages(), 2);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut pm = PmSpace::new();
+        let data: Vec<u8> = (0..100).collect();
+        pm.write_bytes(0x500, &data);
+        let mut out = vec![0u8; 100];
+        pm.read_bytes(0x500, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn line_snapshot_and_write() {
+        let mut pm = PmSpace::new();
+        let line = LineAddr::containing(0x1040);
+        pm.write_u64(0x1040, 7);
+        pm.write_u64(0x1078, 9);
+        let snap = pm.snapshot_line(line);
+        assert_eq!(u64::from_le_bytes(snap[0..8].try_into().unwrap()), 7);
+        assert_eq!(u64::from_le_bytes(snap[56..64].try_into().unwrap()), 9);
+
+        let mut pm2 = PmSpace::new();
+        pm2.write_line(line, &snap);
+        assert_eq!(pm2.read_u64(0x1040), 7);
+        assert_eq!(pm2.read_u64(0x1078), 9);
+    }
+
+    #[test]
+    fn overwrites_are_visible() {
+        let mut pm = PmSpace::new();
+        pm.write_u64(0x10, 1);
+        pm.write_u64(0x10, 2);
+        assert_eq!(pm.read_u64(0x10), 2);
+    }
+}

@@ -1,0 +1,163 @@
+//! Deterministic timed event queue.
+
+use crate::time::Cycle;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled entry: ordered by time, then by insertion sequence so
+/// that same-cycle events pop in FIFO order. FIFO tie-breaking is what
+/// makes whole-simulation runs bit-for-bit reproducible.
+struct Scheduled<E> {
+    at: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops
+        // first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A priority queue of `(Cycle, E)` pairs with deterministic FIFO ordering
+/// among same-cycle events.
+///
+/// # Example
+///
+/// ```
+/// use asap_sim_core::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycle(7), 'b');
+/// q.push(Cycle(3), 'a');
+/// q.push(Cycle(7), 'c'); // same cycle as 'b', pushed later
+/// assert_eq!(q.pop(), Some((Cycle(3), 'a')));
+/// assert_eq!(q.pop(), Some((Cycle(7), 'b')));
+/// assert_eq!(q.pop(), Some((Cycle(7), 'c')));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    pub fn push(&mut self, at: Cycle, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Remove and return the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("next_time", &self.peek_time())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(30), 3);
+        q.push(Cycle(10), 1);
+        q.push(Cycle(20), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn fifo_within_same_cycle() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Cycle(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Cycle(9), ());
+        q.push(Cycle(4), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Cycle(4)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(Cycle(9)));
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(10), "a");
+        q.push(Cycle(5), "b");
+        assert_eq!(q.pop().unwrap().1, "b");
+        q.push(Cycle(7), "c");
+        q.push(Cycle(10), "d");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().unwrap().1, "a"); // pushed before "d" at Cycle(10)
+        assert_eq!(q.pop().unwrap().1, "d");
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let q: EventQueue<u8> = EventQueue::new();
+        assert!(!format!("{:?}", q).is_empty());
+    }
+}

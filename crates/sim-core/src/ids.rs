@@ -1,0 +1,160 @@
+//! Identifier newtypes shared across the simulator.
+//!
+//! These are deliberately tiny [C-NEWTYPE] wrappers: a `ThreadId` can never
+//! be confused with a memory-controller index or an epoch number, which
+//! matters in a codebase where all three are passed around together in the
+//! commit/CDR protocol messages.
+
+use std::fmt;
+
+/// Bytes per cache line. Flushes and persists occur at this granularity
+/// (paper §IV-B: "All flushes and persists occur at cache-line
+/// granularity").
+pub const CACHE_LINE_BYTES: u64 = 64;
+
+/// log2 of [`CACHE_LINE_BYTES`].
+pub const CACHE_LINE_SHIFT: u32 = 6;
+
+/// Index of a simulated hardware thread / core.
+///
+/// The paper treats "thread" and "core" interchangeably ("We use *thread*
+/// to refer to a CPU core that supports a single thread", §IV-B) and so do
+/// we.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(pub usize);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Index of a memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct McId(pub usize);
+
+impl fmt::Display for McId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MC{}", self.0)
+    }
+}
+
+/// A (thread, epoch-timestamp) pair naming one epoch in the system.
+///
+/// Epoch timestamps are per-thread logical clocks (paper §V-A: "ASAP uses
+/// logical timestamps to label epochs. Each core has a timestamp register
+/// for the current active epoch"), so an epoch is only globally unique
+/// together with its owning thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EpochId {
+    /// Owning thread.
+    pub thread: ThreadId,
+    /// Per-thread logical timestamp, starting at 0 and incremented by each
+    /// persist barrier.
+    pub ts: u64,
+}
+
+impl EpochId {
+    /// Construct an epoch id.
+    pub fn new(thread: ThreadId, ts: u64) -> EpochId {
+        EpochId { thread, ts }
+    }
+
+    /// The next epoch on the same thread.
+    pub fn next(self) -> EpochId {
+        EpochId {
+            thread: self.thread,
+            ts: self.ts + 1,
+        }
+    }
+}
+
+impl fmt::Display for EpochId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{},{}", self.thread.0, self.ts)
+    }
+}
+
+/// A cache-line-aligned physical address.
+///
+/// Stored as the *byte* address of the first byte in the line; the
+/// constructor masks the low bits so a `LineAddr` is always aligned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// The cache line containing byte address `byte_addr`.
+    pub const fn containing(byte_addr: u64) -> LineAddr {
+        LineAddr(byte_addr & !(CACHE_LINE_BYTES - 1))
+    }
+
+    /// Byte address of the first byte of the line.
+    pub const fn byte_addr(self) -> u64 {
+        self.0
+    }
+
+    /// Line index (byte address >> line shift).
+    pub const fn index(self) -> u64 {
+        self.0 >> CACHE_LINE_SHIFT
+    }
+
+    /// Offset of `byte_addr` within this line. Returns `None` if the byte
+    /// is not inside the line.
+    pub fn offset_of(self, byte_addr: u64) -> Option<usize> {
+        if LineAddr::containing(byte_addr) == self {
+            Some((byte_addr - self.0) as usize)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_addr_aligns() {
+        let l = LineAddr::containing(0x1234);
+        assert_eq!(l.byte_addr(), 0x1200);
+        assert_eq!(l.byte_addr() % CACHE_LINE_BYTES, 0);
+        assert_eq!(LineAddr::containing(l.byte_addr()), l);
+    }
+
+    #[test]
+    fn line_addr_offset() {
+        let l = LineAddr::containing(0x1000);
+        assert_eq!(l.offset_of(0x1000), Some(0));
+        assert_eq!(l.offset_of(0x103f), Some(63));
+        assert_eq!(l.offset_of(0x1040), None);
+    }
+
+    #[test]
+    fn line_index_matches_shift() {
+        let l = LineAddr::containing(0x1040);
+        assert_eq!(l.index(), 0x1040 >> CACHE_LINE_SHIFT);
+    }
+
+    #[test]
+    fn epoch_id_next_stays_on_thread() {
+        let e = EpochId::new(ThreadId(3), 7);
+        let n = e.next();
+        assert_eq!(n.thread, ThreadId(3));
+        assert_eq!(n.ts, 8);
+        assert!(e < n);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ThreadId(2).to_string(), "T2");
+        assert_eq!(McId(1).to_string(), "MC1");
+        assert_eq!(EpochId::new(ThreadId(0), 5).to_string(), "E0,5");
+        assert_eq!(LineAddr::containing(0x40).to_string(), "L0x40");
+    }
+}

@@ -1,0 +1,159 @@
+//! Simulated time.
+//!
+//! The paper's Table II configures 2 GHz cores, so one nanosecond is two
+//! cycles. All timing parameters in the paper are given in nanoseconds
+//! (e.g. PM read = 175 ns, PM write = 90 ns, persist-buffer flush = 60 ns);
+//! the simulator converts them to cycles once at configuration time and
+//! works purely in cycles afterwards.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// CPU cycles per nanosecond (2 GHz clock, Table II).
+pub const CYCLES_PER_NS: u64 = 2;
+
+/// A point in simulated time (or a duration), measured in CPU cycles.
+///
+/// `Cycle` is a transparent newtype over `u64` ([C-NEWTYPE]): it prevents
+/// accidentally mixing cycle counts with other integers such as buffer
+/// indices or byte addresses.
+///
+/// # Example
+///
+/// ```
+/// use asap_sim_core::Cycle;
+/// let start = Cycle::from_ns(30); // 60 cycles at 2 GHz
+/// let end = start + Cycle(40);
+/// assert_eq!(end, Cycle(100));
+/// assert_eq!((end - start).as_ns(), 20);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// The zero instant.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Convert a duration given in nanoseconds into cycles.
+    pub const fn from_ns(ns: u64) -> Cycle {
+        Cycle(ns * CYCLES_PER_NS)
+    }
+
+    /// Convert this cycle count back to (truncated) nanoseconds.
+    pub const fn as_ns(self) -> u64 {
+        self.0 / CYCLES_PER_NS
+    }
+
+    /// Raw cycle count.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction; useful when computing elapsed durations
+    /// against a possibly-later reference point.
+    pub const fn saturating_sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, rhs: Cycle) -> Cycle {
+        if self.0 >= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycle {
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycle {
+    fn sub_assign(&mut self, rhs: Cycle) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        iter.fold(Cycle::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(v: u64) -> Cycle {
+        Cycle(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_round_trip() {
+        assert_eq!(Cycle::from_ns(175).raw(), 350);
+        assert_eq!(Cycle::from_ns(90).as_ns(), 90);
+        assert_eq!(Cycle::from_ns(0), Cycle::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Cycle(100);
+        let b = Cycle(40);
+        assert_eq!(a + b, Cycle(140));
+        assert_eq!(a - b, Cycle(60));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Cycle(140));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn saturating_sub_does_not_underflow() {
+        assert_eq!(Cycle(5).saturating_sub(Cycle(10)), Cycle::ZERO);
+        assert_eq!(Cycle(10).saturating_sub(Cycle(5)), Cycle(5));
+    }
+
+    #[test]
+    fn max_picks_later() {
+        assert_eq!(Cycle(5).max(Cycle(9)), Cycle(9));
+        assert_eq!(Cycle(9).max(Cycle(5)), Cycle(9));
+    }
+
+    #[test]
+    fn sum_of_cycles() {
+        let total: Cycle = [Cycle(1), Cycle(2), Cycle(3)].into_iter().sum();
+        assert_eq!(total, Cycle(6));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Cycle(42).to_string(), "42cy");
+    }
+}

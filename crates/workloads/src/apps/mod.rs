@@ -1,0 +1,13 @@
+//! WHISPER-style application workloads (ASPLOS'17): Nstore, Echo,
+//! Vacation and Memcached.
+//!
+//! These model the *applications* of the paper's Table III: transactional
+//! PM programs whose persist streams are dominated by log-append +
+//! in-place-update pairs, with comparatively few cross-thread
+//! dependencies (Figure 2 shows them near zero, unlike the concurrent
+//! index structures).
+
+pub mod echo;
+pub mod memcached;
+pub mod nstore;
+pub mod vacation;

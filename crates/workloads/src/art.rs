@@ -1,0 +1,269 @@
+//! P-ART: a RECIPE-style persistent adaptive radix tree (SOSP'19).
+//!
+//! RECIPE converts the concurrent ART by persisting a new node/leaf
+//! *before* publishing it and publishing with a CAS on the parent's child
+//! pointer (lock-free inserts, no global locks). We model a fixed-depth
+//! radix tree: [`LEVELS`] levels of 8-bit fan-out over the hashed key,
+//! 256-pointer inner nodes, leaves carrying the key plus a value blob.
+//!
+//! The persist pattern per insert:
+//!
+//! 1. write the leaf (key, value lines), `ofence`;
+//! 2. CAS the parent slot to publish, `ofence`;
+//! 3. `dfence` before returning to the client.
+//!
+//! Lock-free CAS publication over a shared tree gives P-ART the high
+//! cross-thread dependency rate of the paper's Figure 2.
+
+use crate::common::{KeySampler, fnv1a, init_once, Arena, WorkloadParams, GLOBALS_BASE};
+use asap_core::{BurstCtx, BurstStatus, ThreadProgram};
+use asap_sim_core::{DetRng, ThreadId};
+
+/// Radix levels (8 bits each).
+pub const LEVELS: u32 = 3;
+const NODE_BYTES: u64 = 256 * 8;
+pub(crate) const LEAF_TAG: u64 = 1 << 63;
+
+pub(crate) const ART_ROOT: u64 = GLOBALS_BASE + 0x200;
+const ART_INIT_FLAG: u64 = GLOBALS_BASE + 0x208;
+
+pub(crate) fn slot(node: u64, byte: u64) -> u64 {
+    node + byte * 8
+}
+
+pub(crate) fn radix_byte(h: u64, level: u32) -> u64 {
+    (h >> (level * 8)) & 0xff
+}
+
+/// P-ART insert/lookup workload.
+pub struct PArt {
+    #[allow(dead_code)]
+    tid: usize,
+    rng: DetRng,
+    sampler: KeySampler,
+    arena: Arena,
+    ops_left: u64,
+    params: WorkloadParams,
+}
+
+impl PArt {
+    /// Build the program for one thread.
+    pub fn new(thread: usize, params: &WorkloadParams) -> PArt {
+        PArt {
+            tid: thread,
+            rng: params.rng_for(thread),
+            sampler: params.key_sampler(),
+            arena: Arena::for_thread(thread),
+            ops_left: params.ops_per_thread,
+            params: params.clone(),
+        }
+    }
+
+    fn setup(ctx: &mut BurstCtx<'_>, arena: &mut Arena) {
+        let root = arena.alloc(NODE_BYTES);
+        ctx.poke_durable_u64(ART_ROOT, root);
+    }
+
+    /// Persist a new leaf for `key` and return its tagged pointer.
+    fn make_leaf(&mut self, ctx: &mut BurstCtx<'_>, key: u64) -> u64 {
+        let bytes = 64 + self.params.value_bytes as u64;
+        let leaf = self.arena.alloc(bytes);
+        ctx.store_u64(leaf, key);
+        let lines = (self.params.value_bytes as u64).div_ceil(64);
+        for l in 0..lines {
+            ctx.store_u64(leaf + 64 + l * 64, key.rotate_left(l as u32 + 1));
+        }
+        ctx.ofence(); // leaf durable before publication
+        leaf | LEAF_TAG
+    }
+
+    fn insert(&mut self, ctx: &mut BurstCtx<'_>, key: u64) {
+        let h = fnv1a(key);
+        // ROWEX-style node synchronization, annotated at subtree
+        // granularity for the race-free release-persistency port: a
+        // writer acquires the top-level slot's sync word and releases it
+        // after publishing.
+        let sync = ART_ROOT + 0x1000 + radix_byte(h, 0) * 64;
+        ctx.acquire_load(sync);
+        let mut node = ctx.load_u64(ART_ROOT);
+        for level in 0..LEVELS {
+            let s = slot(node, radix_byte(h, level));
+            let child = ctx.load_u64(s);
+            let last = level == LEVELS - 1;
+            if child == 0 {
+                if last {
+                    // Publish a leaf here.
+                    let leaf = self.make_leaf(ctx, key);
+                    if ctx.cas_u64(s, 0, leaf) {
+                        ctx.ofence();
+                        ctx.release_store(sync, h);
+                        return;
+                    }
+                    // Lost the race: fall through and retry the slot.
+                } else {
+                    // Install a new inner node (persist, fence, publish).
+                    let inner = self.arena.alloc(NODE_BYTES);
+                    ctx.store_u64(inner, 0); // touch header line
+                    ctx.ofence();
+                    if !ctx.cas_u64(s, 0, inner) {
+                        self.arena.free(inner, NODE_BYTES);
+                    }
+                }
+            }
+            let child = ctx.load_u64(s);
+            if child & LEAF_TAG != 0 {
+                if last {
+                    // Slot already holds a leaf: update its value in
+                    // place (persist value lines, fence). The value line
+                    // keeps its key-derived tag so recovery can validate
+                    // it.
+                    let leaf = child & !LEAF_TAG;
+                    let existing = ctx.load_u64(leaf);
+                    if existing == key {
+                        ctx.store_u64(leaf + 64, key.rotate_left(1));
+                        ctx.ofence();
+                        ctx.release_store(sync, h);
+                        return;
+                    }
+                    // Hash-collision with a different key at full depth:
+                    // replace via CAS (the slot is contended by other
+                    // threads' CASes, so the publish must be an atomic
+                    // RMW).
+                    let nl = self.make_leaf(ctx, key);
+                    let _ = ctx.cas_u64(s, child, nl);
+                    ctx.ofence();
+                    ctx.release_store(sync, h);
+                    return;
+                }
+                // A leaf sits on our path (shouldn't at fixed depth);
+                // treat as replace.
+                let nl = self.make_leaf(ctx, key);
+                let _ = ctx.cas_u64(s, child, nl);
+                ctx.ofence();
+                ctx.release_store(sync, h);
+                return;
+            }
+            if child == 0 {
+                // CAS lost to a concurrent leaf? retry once via load.
+                continue;
+            }
+            node = child;
+        }
+    }
+
+    fn lookup(&mut self, ctx: &mut BurstCtx<'_>, key: u64) {
+        let h = fnv1a(key);
+        let mut node = ctx.load_u64(ART_ROOT);
+        for level in 0..LEVELS {
+            let child = ctx.load_u64(slot(node, radix_byte(h, level)));
+            if child == 0 {
+                return;
+            }
+            if child & LEAF_TAG != 0 {
+                let leaf = child & !LEAF_TAG;
+                ctx.load_u64(leaf);
+                ctx.load_u64(leaf + 64);
+                return;
+            }
+            node = child;
+        }
+    }
+}
+
+impl ThreadProgram for PArt {
+    fn next_burst(&mut self, _tid: ThreadId, ctx: &mut BurstCtx<'_>) -> BurstStatus {
+        init_once(ctx, ART_INIT_FLAG, |c| Self::setup(c, &mut self.arena));
+        if self.ops_left == 0 {
+            ctx.dfence();
+            return BurstStatus::Finished;
+        }
+        ctx.compute(self.params.think_cycles);
+        let key = self.sampler.sample(&mut self.rng);
+        if self.rng.chance(self.params.update_fraction) {
+            self.insert(ctx, key);
+            ctx.dfence();
+        } else {
+            self.lookup(ctx, key);
+        }
+        ctx.op_completed();
+        self.ops_left -= 1;
+        BurstStatus::Running
+    }
+
+    fn name(&self) -> &str {
+        "p-art"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_core::{Flavor, ModelKind, SimBuilder};
+    use asap_sim_core::SimConfig;
+
+    fn run(threads: usize, ops: u64) -> asap_core::Sim {
+        let params = WorkloadParams {
+            threads,
+            ops_per_thread: ops,
+            seed: 21,
+            key_space: 512,
+            ..Default::default()
+        };
+        let programs: Vec<Box<dyn ThreadProgram>> = (0..threads)
+            .map(|t| -> Box<dyn ThreadProgram> { Box::new(PArt::new(t, &params)) })
+            .collect();
+        let mut sim = SimBuilder::new(SimConfig::paper(), ModelKind::Asap, Flavor::Release)
+            .programs(programs)
+            .build();
+        let out = sim.run_to_completion();
+        assert!(out.all_done);
+        sim
+    }
+
+    #[test]
+    fn part_completes_and_stores() {
+        let sim = run(1, 50);
+        assert_eq!(sim.stats().ops_completed, 50);
+        assert!(sim.stats().stores > 50);
+    }
+
+    #[test]
+    fn part_inserted_key_is_reachable() {
+        let sim = run(1, 40);
+        let pm = sim.pm();
+        // Walk a few random keys the RNG would have produced and check
+        // reachability of at least one.
+        let mut found = 0;
+        let mut rng = WorkloadParams {
+            seed: 21,
+            ..Default::default()
+        }
+        .rng_for(0);
+        for _ in 0..40 {
+            let key = rng.below(512) + 1;
+            let h = fnv1a(key);
+            let mut node = pm.read_u64(ART_ROOT);
+            for level in 0..LEVELS {
+                let child = pm.read_u64(slot(node, radix_byte(h, level)));
+                if child == 0 {
+                    break;
+                }
+                if child & LEAF_TAG != 0 {
+                    if pm.read_u64(child & !LEAF_TAG) == key {
+                        found += 1;
+                    }
+                    break;
+                }
+                node = child;
+                let _ = level;
+            }
+        }
+        assert!(found > 0, "no inserted key reachable");
+    }
+
+    #[test]
+    fn part_multithreaded_races_resolve() {
+        let sim = run(4, 30);
+        assert_eq!(sim.stats().ops_completed, 120);
+    }
+}

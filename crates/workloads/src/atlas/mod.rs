@@ -1,0 +1,136 @@
+//! Atlas-style workloads (OOPSLA'14): heap, queue and skip list.
+//!
+//! Atlas gives lock-based code failure atomicity: each critical section
+//! becomes a failure-atomic section (FASE). Before every store inside a
+//! FASE, Atlas appends an *undo record* (address, old value) to a
+//! per-thread log and orders it before the data store; closing the
+//! section writes a commit marker that logically truncates the log.
+//!
+//! [`UndoLog`] reproduces that write/fence pattern; the three structures
+//! use a global structure lock (as the paper's hand-written Atlas
+//! data-structure benchmarks do), so their persist streams are dominated
+//! by log append + in-place update pairs inside lock hand-offs.
+
+pub mod heap;
+pub mod queue;
+pub mod skiplist;
+
+use asap_core::BurstCtx;
+
+/// Per-thread Atlas undo log.
+///
+/// Each record is one cache line: `[addr, old_value, tag]`, where `tag`
+/// is the record's monotonically increasing position — recovery scans
+/// use it to find records beyond the last commit marker even though the
+/// log wraps (real Atlas prunes at consistent points).
+#[derive(Debug, Clone)]
+pub struct UndoLog {
+    base: u64,
+    slots: u64,
+    pos: u64,
+}
+
+impl UndoLog {
+    /// A log of `slots` one-line records at `base`.
+    pub fn new(base: u64, slots: u64) -> UndoLog {
+        UndoLog { base, slots, pos: 0 }
+    }
+
+    /// Base address of the log region.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Record capacity.
+    pub fn slots(&self) -> u64 {
+        self.slots
+    }
+
+    /// Address of the record at position `pos` (wrapping).
+    pub fn record_addr(base: u64, slots: u64, pos: u64) -> u64 {
+        base + (pos % slots) * 64
+    }
+
+    /// Address of the commit marker.
+    pub fn marker_addr(base: u64, slots: u64) -> u64 {
+        base + slots * 64
+    }
+
+    /// Atlas store: append the undo record, `ofence`, then store the new
+    /// value (log-before-data ordering). The record's tag is `pos + 1`
+    /// so an all-zero (never-written) slot is distinguishable.
+    pub fn log_and_store(&mut self, ctx: &mut BurstCtx<'_>, addr: u64, new: u64) {
+        let old = ctx.load_u64(addr);
+        let rec = Self::record_addr(self.base, self.slots, self.pos);
+        self.pos += 1;
+        ctx.store_u64(rec, addr);
+        ctx.store_u64(rec + 8, old);
+        ctx.store_u64(rec + 16, self.pos); // tag = 1-based position
+        ctx.ofence();
+        ctx.store_u64(addr, new);
+    }
+
+    /// Close the failure-atomic section: order data writes, then persist
+    /// the commit marker (the 1-based position of the last committed
+    /// record).
+    pub fn commit_section(&mut self, ctx: &mut BurstCtx<'_>) {
+        ctx.ofence();
+        ctx.store_u64(Self::marker_addr(self.base, self.slots), self.pos);
+        ctx.ofence();
+    }
+
+    /// Records appended so far.
+    pub fn records(&self) -> u64 {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_pm_mem::{PmSpace, WriteJournal};
+
+    #[test]
+    fn undo_log_orders_log_before_data() {
+        let mut pm = PmSpace::new();
+        let mut j = WriteJournal::enabled();
+        let mut ctx = BurstCtx::new(&mut pm, &mut j);
+        pm_init(&mut ctx);
+        let mut log = UndoLog::new(0x9000_0000, 16);
+        log.log_and_store(&mut ctx, 0x8000_0000, 42);
+        log.commit_section(&mut ctx);
+        assert_eq!(log.records(), 1);
+        let (ops, _, _) = ctx.into_parts();
+        // Order: load(old), store(rec), store(rec+8), store(tag), OFence,
+        // store(data), ...
+        use asap_core::MemOp;
+        let stores: Vec<usize> = ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_store())
+            .map(|(i, _)| i)
+            .collect();
+        let fence = ops.iter().position(|o| matches!(o, MemOp::OFence)).unwrap();
+        assert!(stores[0] < fence && stores[1] < fence && stores[2] < fence, "log before fence");
+        assert!(stores[3] > fence, "data after fence");
+        // Functional state updated.
+        assert_eq!(pm.read_u64(0x8000_0000), 42);
+        assert_eq!(pm.read_u64(0x9000_0000), 0x8000_0000);
+    }
+
+    fn pm_init(ctx: &mut BurstCtx<'_>) {
+        ctx.poke_u64(0x8000_0000, 7); // pre-existing value to be logged
+    }
+
+    #[test]
+    fn undo_log_wraps() {
+        let mut pm = PmSpace::new();
+        let mut j = WriteJournal::disabled();
+        let mut ctx = BurstCtx::new(&mut pm, &mut j);
+        let mut log = UndoLog::new(0x9100_0000, 2);
+        for i in 0..5 {
+            log.log_and_store(&mut ctx, 0x8200_0000 + i * 8, i);
+        }
+        assert_eq!(log.records(), 5);
+    }
+}

@@ -1,0 +1,51 @@
+//! Model shoot-out on a concurrent persistent hash table (CCEH).
+//!
+//! Runs the same insert-heavy CCEH workload under all six models of the
+//! paper's Figure 8 and prints runtimes and speedups over the Intel-like
+//! baseline.
+//!
+//! ```text
+//! cargo run --release --example concurrent_hash
+//! ```
+
+use asap::harness::{run_once, RunSpec};
+use asap::sim::{Flavor, ModelKind, SimConfig};
+use asap::workloads::WorkloadKind;
+
+fn main() {
+    let models = [
+        ("baseline", ModelKind::Baseline, Flavor::Release),
+        ("hops_ep", ModelKind::Hops, Flavor::Epoch),
+        ("hops_rp", ModelKind::Hops, Flavor::Release),
+        ("asap_ep", ModelKind::Asap, Flavor::Epoch),
+        ("asap_rp", ModelKind::Asap, Flavor::Release),
+        ("bbb    ", ModelKind::Bbb, Flavor::Release),
+        ("eadr   ", ModelKind::Eadr, Flavor::Release),
+    ];
+
+    let mut base_cycles = 0u64;
+    println!("CCEH, 4 threads, 150 inserts/thread, 2 MCs\n");
+    println!("{:<10} {:>12} {:>9} {:>10} {:>10}", "model", "cycles", "speedup", "crossDeps", "nvmWrites");
+    for (name, model, flavor) in models {
+        let out = run_once(&RunSpec {
+            config: SimConfig::paper(),
+            model,
+            flavor,
+            workload: WorkloadKind::Cceh,
+            ops_per_thread: 150,
+            seed: 7,
+        });
+        if base_cycles == 0 {
+            base_cycles = out.cycles;
+        }
+        println!(
+            "{:<10} {:>12} {:>8.2}x {:>10} {:>10}",
+            name,
+            out.cycles,
+            base_cycles as f64 / out.cycles as f64,
+            out.stats.inter_t_epoch_conflict,
+            out.stats.nvm_writes,
+        );
+    }
+    println!("\n(the paper's Figure 8 shape: baseline slowest, ASAP within a few % of eADR)");
+}

@@ -1,0 +1,82 @@
+//! Crash & recovery demonstration: the heart of ASAP.
+//!
+//! Two threads hammer a shared persistent structure under eager flushing;
+//! we cut the power at an arbitrary instant. The memory controllers drain
+//! their WPQs (ADR), write the undo records back to media, and drop the
+//! delay records (§V-E). The crash oracle then machine-checks Theorem 2:
+//! the recovered image must be ordering-consistent with the write journal
+//! and the epoch dependency DAG.
+//!
+//! ```text
+//! cargo run --example crash_recovery
+//! ```
+
+use asap::model::ops::{BurstCtx, BurstStatus, ThreadProgram};
+use asap::model::{SimBuilder};
+use asap::sim::{Cycle, Flavor, ModelKind, SimConfig, ThreadId};
+
+/// A bank-transfer-style program: debit one account, fence, credit the
+/// other — ordering matters, atomicity is built from it.
+struct Transfers {
+    rounds: u64,
+    accounts: u64,
+    done: u64,
+}
+
+impl ThreadProgram for Transfers {
+    fn next_burst(&mut self, t: ThreadId, ctx: &mut BurstCtx<'_>) -> BurstStatus {
+        if self.done >= self.rounds {
+            ctx.dfence();
+            return BurstStatus::Finished;
+        }
+        let base = 0x10_0000 + t.0 as u64 * 0x10_0000;
+        let from = base + (self.done % self.accounts) * 64;
+        let to = base + ((self.done + 1) % self.accounts) * 64;
+        // Log record first (so recovery can tell what was in flight)...
+        let log = base + 0x8_0000 + (self.done % 512) * 64;
+        ctx.store_u64(log, self.done << 8 | t.0 as u64);
+        ctx.ofence();
+        // ...then the transfer, ordered debit-before-credit.
+        let a = ctx.load_u64(from);
+        ctx.store_u64(from, a.wrapping_sub(1));
+        ctx.ofence();
+        let b = ctx.load_u64(to);
+        ctx.store_u64(to, b.wrapping_add(1));
+        ctx.ofence();
+        self.done += 1;
+        ctx.op_completed();
+        BurstStatus::Running
+    }
+
+    fn name(&self) -> &str {
+        "transfers"
+    }
+}
+
+fn main() {
+    for crash_at in [2_000u64, 10_000, 50_000, 250_000] {
+        let mut sim = SimBuilder::new(SimConfig::paper(), ModelKind::Asap, Flavor::Release)
+            .program(Box::new(Transfers { rounds: 500, accounts: 64, done: 0 }))
+            .program(Box::new(Transfers { rounds: 500, accounts: 64, done: 0 }))
+            .with_journal()
+            .build();
+
+        let report = sim.crash_at(Cycle(crash_at));
+
+        println!("power failure at {crash_at} cycles:");
+        println!("  undo records applied : {}", report.undo_records_applied);
+        println!("  lines checked        : {}", report.lines_checked);
+        println!("  epochs visible       : {}", report.epochs_visible);
+        println!("  epochs committed     : {}", report.epochs_committed);
+        if report.is_consistent() {
+            println!("  recovered state      : CONSISTENT (Theorem 2 holds)\n");
+        } else {
+            println!("  recovered state      : VIOLATIONS:");
+            for v in &report.violations {
+                println!("    - {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+    println!("all crash points recovered consistently.");
+}

@@ -1,0 +1,43 @@
+//! Quickstart: simulate a persistent workload under ASAP and print the
+//! gem5-style statistics (Table VI names).
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use asap::harness::{run_once, RunSpec};
+use asap::sim::{Flavor, ModelKind, SimConfig};
+use asap::workloads::WorkloadKind;
+
+fn main() {
+    // The paper's Table II machine: 4 cores, 2 memory controllers,
+    // Optane-like persistent memory.
+    let spec = RunSpec {
+        config: SimConfig::paper(),
+        model: ModelKind::Asap,
+        flavor: Flavor::Release,
+        workload: WorkloadKind::Cceh,
+        ops_per_thread: 200,
+        seed: 42,
+    };
+
+    println!(
+        "simulating {} under {}_{} on {} cores / {} MCs...\n",
+        spec.workload,
+        spec.model,
+        spec.flavor,
+        spec.config.num_cores,
+        spec.config.num_mcs
+    );
+
+    let out = run_once(&spec);
+
+    println!("finished in {} simulated cycles ({} ns)", out.cycles, out.cycles / 2);
+    println!("logical operations completed: {}", out.ops);
+    println!(
+        "throughput: {:.1} ops/us\n",
+        out.ops as f64 / (out.cycles as f64 / 2000.0)
+    );
+    println!("--- stats.txt ---");
+    print!("{}", out.stats.snapshot().to_stats_txt());
+}

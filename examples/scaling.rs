@@ -1,0 +1,38 @@
+//! Core-count scaling (the paper's Figure 10, in miniature).
+//!
+//! Sweeps 1/2/4/8 cores on the P-ART workload and prints throughput for
+//! HOPS and ASAP, normalized to single-thread HOPS. ASAP should scale
+//! better because eager flushing removes the cross-thread flushing stalls
+//! that pile up as cores are added.
+//!
+//! ```text
+//! cargo run --release --example scaling
+//! ```
+
+use asap::harness::{run_once, RunSpec};
+use asap::sim::{Flavor, ModelKind, SimConfig};
+use asap::workloads::WorkloadKind;
+
+fn throughput(model: ModelKind, threads: usize) -> f64 {
+    let out = run_once(&RunSpec {
+        config: SimConfig::builder().cores(threads).build().expect("valid config"),
+        model,
+        flavor: Flavor::Release,
+        workload: WorkloadKind::PArt,
+        ops_per_thread: 120,
+        seed: 11,
+    });
+    out.ops as f64 / out.cycles as f64
+}
+
+fn main() {
+    println!("P-ART inserts, 2 MCs, release persistency\n");
+    println!("{:>7} {:>12} {:>12}", "threads", "HOPS", "ASAP");
+    let base = throughput(ModelKind::Hops, 1);
+    for threads in [1usize, 2, 4, 8] {
+        let h = throughput(ModelKind::Hops, threads) / base;
+        let a = throughput(ModelKind::Asap, threads) / base;
+        println!("{threads:>7} {h:>11.2}x {a:>11.2}x");
+    }
+    println!("\n(speedup over 1-thread HOPS; the ASAP column should pull away with more threads)");
+}

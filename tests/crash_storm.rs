@@ -1,0 +1,131 @@
+//! Crash storm: cut the power at many instants across the real workload
+//! suite and machine-check recovery consistency (§VI Theorem 2) every
+//! time. This is the strongest end-to-end guarantee in the repository:
+//! the entire stack — workloads, coherence, persist buffers, epoch
+//! tables, recovery tables, WPQs, the commit/CDR protocol — must conspire
+//! to leave NVM ordering-consistent at *every* cycle.
+
+use asap::model::{Flavor, ModelKind, SimBuilder};
+use asap::sim::{Cycle, SimConfig};
+use asap::workloads::{make_workload, WorkloadKind, WorkloadParams};
+
+fn crash_check(w: WorkloadKind, model: ModelKind, flavor: Flavor, at: u64, seed: u64) {
+    let params = WorkloadParams {
+        threads: 3,
+        ops_per_thread: 80,
+        seed,
+        key_space: 128,
+        ..Default::default()
+    };
+    let programs = make_workload(w, &params);
+    let mut cfg = SimConfig::paper();
+    cfg.num_cores = 3;
+    let mut sim = SimBuilder::new(cfg, model, flavor)
+        .programs(programs)
+        .with_journal()
+        .build();
+    let report = sim.crash_at(Cycle(at));
+    assert!(
+        report.is_consistent(),
+        "{w} under {model}_{flavor} crash at {at}: {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn asap_rp_crash_storm_over_structures() {
+    for w in [
+        WorkloadKind::Cceh,
+        WorkloadKind::FastFair,
+        WorkloadKind::PClht,
+        WorkloadKind::Queue,
+        WorkloadKind::PArt,
+    ] {
+        for at in [3_000u64, 20_000, 90_000, 400_000] {
+            crash_check(w, ModelKind::Asap, Flavor::Release, at, 5);
+        }
+    }
+}
+
+#[test]
+fn asap_ep_crash_storm() {
+    for w in [WorkloadKind::Cceh, WorkloadKind::Queue, WorkloadKind::Heap] {
+        for at in [5_000u64, 50_000, 250_000] {
+            crash_check(w, ModelKind::Asap, Flavor::Epoch, at, 9);
+        }
+    }
+}
+
+#[test]
+fn asap_crash_storm_over_apps() {
+    for w in [
+        WorkloadKind::Nstore,
+        WorkloadKind::Echo,
+        WorkloadKind::Memcached,
+        WorkloadKind::Vacation,
+    ] {
+        for at in [10_000u64, 120_000] {
+            crash_check(w, ModelKind::Asap, Flavor::Release, at, 13);
+        }
+    }
+}
+
+#[test]
+fn hops_and_baseline_crash_storm() {
+    for model in [ModelKind::Hops, ModelKind::Baseline] {
+        for w in [WorkloadKind::Cceh, WorkloadKind::Skiplist] {
+            for at in [8_000u64, 150_000] {
+                crash_check(w, model, Flavor::Release, at, 17);
+            }
+        }
+    }
+}
+
+#[test]
+fn tiny_recovery_table_crash_storm() {
+    // A 2-entry RT maximizes NACK/fallback churn; consistency must hold.
+    for at in [5_000u64, 40_000, 200_000] {
+        let params = WorkloadParams {
+            threads: 3,
+            ops_per_thread: 60,
+            seed: 21,
+            key_space: 64,
+            ..Default::default()
+        };
+        let programs = make_workload(WorkloadKind::PClht, &params);
+        let cfg = SimConfig::builder().cores(3).rt_entries(2).build().unwrap();
+        let mut sim = SimBuilder::new(cfg, ModelKind::Asap, Flavor::Release)
+            .programs(programs)
+            .with_journal()
+            .build();
+        let report = sim.crash_at(Cycle(at));
+        assert!(
+            report.is_consistent(),
+            "tiny RT crash at {at}: {:?}",
+            report.violations
+        );
+    }
+}
+
+#[test]
+fn crash_after_completion_recovers_everything() {
+    // After a clean run + retirement dfence, every epoch is committed:
+    // the recovered image must be consistent and fully durable.
+    let params = WorkloadParams {
+        threads: 2,
+        ops_per_thread: 50,
+        seed: 31,
+        ..Default::default()
+    };
+    let programs = make_workload(WorkloadKind::FastFair, &params);
+    let mut cfg = SimConfig::paper();
+    cfg.num_cores = 2;
+    let mut sim = SimBuilder::new(cfg, ModelKind::Asap, Flavor::Release)
+        .programs(programs)
+        .with_journal()
+        .build();
+    sim.run_to_completion();
+    let report = sim.crash_and_check();
+    assert!(report.is_consistent(), "{:?}", report.violations);
+    assert_eq!(report.undo_records_applied, 0, "all undo records cleaned by commits");
+}

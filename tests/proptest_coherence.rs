@@ -1,0 +1,133 @@
+//! Property-based MESI conformance: the coherence hub is exercised with
+//! random access sequences and compared against a reference protocol
+//! state machine. The persistency results hang off two hub-reported
+//! signals — `dirty_supplier` (who had the line modified) and
+//! `invalidated` (which sharers a write upgrade displaced) — so those are
+//! what the reference model checks.
+
+use asap::cache::CoherenceHub;
+use asap::sim::{LineAddr, SimConfig, ThreadId};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Reference directory state per line.
+#[derive(Debug, Clone, PartialEq)]
+enum Ref {
+    Invalid,
+    /// Exclusive-or-modified at one core.
+    Owned { owner: usize, dirty: bool },
+    Shared(Vec<usize>),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Access {
+    thread: usize,
+    line: u64,
+    write: bool,
+}
+
+fn accesses() -> impl Strategy<Value = Vec<Access>> {
+    prop::collection::vec(
+        (0usize..4, 0u64..12, any::<bool>()).prop_map(|(thread, line, write)| Access {
+            thread,
+            line,
+            write,
+        }),
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn hub_matches_reference_protocol(seq in accesses()) {
+        let cfg = SimConfig::paper();
+        let mut hub = CoherenceHub::new(&cfg);
+        let mut reference: HashMap<u64, Ref> = HashMap::new();
+
+        for a in seq {
+            let line = LineAddr::containing(a.line * 64);
+            let out = hub.access(ThreadId(a.thread), line, a.write);
+            let state = reference.entry(a.line).or_insert(Ref::Invalid);
+
+            // 1. dirty_supplier must be exactly the remote dirty owner.
+            let expect_supplier = match &*state {
+                Ref::Owned { owner, dirty: true } if *owner != a.thread => Some(*owner),
+                _ => None,
+            };
+            prop_assert_eq!(
+                out.dirty_supplier.map(|t| t.0),
+                expect_supplier,
+                "dirty_supplier mismatch on {:?} (ref {:?})",
+                a,
+                state
+            );
+
+            // 2. A write upgrade must invalidate every other sharer /
+            //    remote owner (modulo private-cache capacity evictions,
+            //    which can only *shrink* the set the hub reports).
+            if a.write {
+                let expect: Vec<usize> = match &*state {
+                    Ref::Owned { owner, .. } if *owner != a.thread => vec![*owner],
+                    Ref::Shared(s) => s.iter().copied().filter(|&t| t != a.thread).collect(),
+                    _ => vec![],
+                };
+                let mut got: Vec<usize> = out.invalidated.iter().map(|t| t.0).collect();
+                got.sort_unstable();
+                let mut want = expect.clone();
+                want.sort_unstable();
+                prop_assert_eq!(got, want, "invalidation set mismatch on {:?}", a);
+            }
+
+            // 3. Latency is one of the modelled levels.
+            let l = out.latency;
+            prop_assert!(
+                l == cfg.l1_latency
+                    || l == cfg.l2_latency
+                    || l == cfg.llc_latency
+                    || l == cfg.llc_latency + cfg.c2c_latency,
+                "unexpected latency {l} on {:?}",
+                a
+            );
+
+            // Advance the reference state machine.
+            *state = if a.write {
+                Ref::Owned { owner: a.thread, dirty: true }
+            } else {
+                match state.clone() {
+                    Ref::Invalid => Ref::Owned { owner: a.thread, dirty: false },
+                    Ref::Owned { owner, .. } if owner == a.thread => state.clone(),
+                    Ref::Owned { owner, .. } => Ref::Shared(vec![owner, a.thread]),
+                    Ref::Shared(mut s) => {
+                        if !s.contains(&a.thread) {
+                            s.push(a.thread);
+                        }
+                        Ref::Shared(s)
+                    }
+                }
+            };
+
+            // 4. Hub-side dirtiness agrees with the reference.
+            let ref_dirty = matches!(&*state, Ref::Owned { dirty: true, .. });
+            prop_assert_eq!(
+                hub.is_dirty_anywhere(line),
+                ref_dirty,
+                "dirtiness mismatch after {:?}",
+                a
+            );
+        }
+    }
+
+    /// Repeated single-thread access never involves other cores.
+    #[test]
+    fn private_streams_stay_private(lines in prop::collection::vec(0u64..64, 1..64)) {
+        let cfg = SimConfig::paper();
+        let mut hub = CoherenceHub::new(&cfg);
+        for (i, &l) in lines.iter().enumerate() {
+            let out = hub.access(ThreadId(0), LineAddr::containing(l * 64), i % 2 == 0);
+            prop_assert_eq!(out.dirty_supplier, None);
+            prop_assert!(out.invalidated.is_empty());
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based crash-consistency testing: random multi-threaded
+//! programs, random crash instants, machine-checked recovery (§VI
+//! Theorem 2), across all three recoverable models.
+
+use asap::model::ops::{BurstCtx, BurstStatus, ThreadProgram};
+use asap::model::{Flavor, ModelKind, SimBuilder};
+use asap::sim::{Cycle, SimConfig};
+use proptest::prelude::*;
+
+/// A randomly generated instruction for the mini-programs.
+#[derive(Debug, Clone)]
+enum Instr {
+    Store { slot: u8, val: u64 },
+    Load { slot: u8 },
+    OFence,
+    DFence,
+    LockedIncrement { slot: u8 },
+    Compute { cycles: u16 },
+}
+
+fn instr_strategy() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        4 => (any::<u8>(), any::<u64>()).prop_map(|(s, v)| Instr::Store { slot: s % 24, val: v }),
+        2 => any::<u8>().prop_map(|s| Instr::Load { slot: s % 24 }),
+        2 => Just(Instr::OFence),
+        1 => Just(Instr::DFence),
+        2 => any::<u8>().prop_map(|s| Instr::LockedIncrement { slot: s % 6 }),
+        1 => (1u16..300).prop_map(|c| Instr::Compute { cycles: c }),
+    ]
+}
+
+const SHARED_BASE: u64 = 0x20_0000;
+const LOCK_ADDR: u64 = 0x1000;
+
+/// Interprets a random instruction list; locked increments span three
+/// bursts (acquire / critical / release) like the real workloads.
+struct RandomProgram {
+    instrs: Vec<Instr>,
+    pc: usize,
+    tid_base: u64,
+    lock_state: u8, // 0 = none, 1 = acquiring, 2 = in crit, 3 = releasing
+    lock_slot: u8,
+}
+
+impl RandomProgram {
+    fn new(instrs: Vec<Instr>, thread: usize) -> RandomProgram {
+        RandomProgram {
+            instrs,
+            pc: 0,
+            tid_base: 0x100_0000 + thread as u64 * 0x10_0000,
+            lock_state: 0,
+            lock_slot: 0,
+        }
+    }
+}
+
+impl ThreadProgram for RandomProgram {
+    fn next_burst(&mut self, t: asap::sim::ThreadId, ctx: &mut BurstCtx<'_>) -> BurstStatus {
+        match self.lock_state {
+            1 => {
+                if ctx.acquire_cas(LOCK_ADDR, 0, t.0 as u64 + 1) {
+                    self.lock_state = 2;
+                } else {
+                    ctx.compute(40);
+                }
+                return BurstStatus::Running;
+            }
+            2 => {
+                let addr = SHARED_BASE + self.lock_slot as u64 * 64;
+                let v = ctx.load_u64(addr);
+                ctx.store_u64(addr, v + 1);
+                ctx.ofence();
+                self.lock_state = 3;
+                return BurstStatus::Running;
+            }
+            3 => {
+                ctx.release_store(LOCK_ADDR, 0);
+                self.lock_state = 0;
+                return BurstStatus::Running;
+            }
+            _ => {}
+        }
+
+        // Execute a handful of straight-line instructions per burst.
+        for _ in 0..4 {
+            let Some(instr) = self.instrs.get(self.pc).cloned() else {
+                ctx.dfence();
+                return BurstStatus::Finished;
+            };
+            self.pc += 1;
+            match instr {
+                Instr::Store { slot, val } => {
+                    ctx.store_u64(self.tid_base + slot as u64 * 64, val);
+                }
+                Instr::Load { slot } => {
+                    ctx.load_u64(self.tid_base + slot as u64 * 64);
+                }
+                Instr::OFence => ctx.ofence(),
+                Instr::DFence => ctx.dfence(),
+                Instr::Compute { cycles } => ctx.compute(cycles as u64),
+                Instr::LockedIncrement { slot } => {
+                    self.lock_state = 1;
+                    self.lock_slot = slot;
+                    return BurstStatus::Running;
+                }
+            }
+        }
+        BurstStatus::Running
+    }
+
+    fn name(&self) -> &str {
+        "random"
+    }
+}
+
+fn run_crash(
+    model: ModelKind,
+    flavor: Flavor,
+    programs_src: &[Vec<Instr>],
+    crash_at: u64,
+    rt_entries: usize,
+) -> Result<(), TestCaseError> {
+    let cfg = SimConfig::builder()
+        .cores(programs_src.len())
+        .rt_entries(rt_entries)
+        .build()
+        .expect("valid config");
+    let mut b = SimBuilder::new(cfg, model, flavor).with_journal();
+    for (i, instrs) in programs_src.iter().enumerate() {
+        b = b.program(Box::new(RandomProgram::new(instrs.clone(), i)));
+    }
+    let mut sim = b.build();
+    let report = sim.crash_at(Cycle(crash_at));
+    prop_assert!(
+        report.is_consistent(),
+        "{model}_{flavor} rt={rt_entries} crash@{crash_at}: {:?}",
+        report.violations
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn asap_random_programs_recover_consistently(
+        p0 in prop::collection::vec(instr_strategy(), 5..60),
+        p1 in prop::collection::vec(instr_strategy(), 5..60),
+        crash_at in 500u64..120_000,
+    ) {
+        run_crash(ModelKind::Asap, Flavor::Release, &[p0, p1], crash_at, 32)?;
+    }
+
+    #[test]
+    fn asap_ep_random_programs_recover_consistently(
+        p0 in prop::collection::vec(instr_strategy(), 5..40),
+        p1 in prop::collection::vec(instr_strategy(), 5..40),
+        crash_at in 500u64..80_000,
+    ) {
+        run_crash(ModelKind::Asap, Flavor::Epoch, &[p0, p1], crash_at, 32)?;
+    }
+
+    #[test]
+    fn asap_tiny_rt_recovers_consistently(
+        p0 in prop::collection::vec(instr_strategy(), 5..40),
+        p1 in prop::collection::vec(instr_strategy(), 5..40),
+        crash_at in 500u64..80_000,
+        rt in 2usize..6,
+    ) {
+        run_crash(ModelKind::Asap, Flavor::Release, &[p0, p1], crash_at, rt)?;
+    }
+
+    #[test]
+    fn hops_random_programs_recover_consistently(
+        p0 in prop::collection::vec(instr_strategy(), 5..40),
+        p1 in prop::collection::vec(instr_strategy(), 5..40),
+        crash_at in 500u64..80_000,
+    ) {
+        run_crash(ModelKind::Hops, Flavor::Release, &[p0, p1], crash_at, 32)?;
+    }
+
+    #[test]
+    fn baseline_random_programs_recover_consistently(
+        p0 in prop::collection::vec(instr_strategy(), 5..40),
+        crash_at in 500u64..60_000,
+    ) {
+        run_crash(ModelKind::Baseline, Flavor::Release, &[p0], crash_at, 32)?;
+    }
+
+    #[test]
+    fn three_thread_lock_heavy_recovers(
+        seeds in prop::collection::vec(0u8..6, 12),
+        crash_at in 1_000u64..150_000,
+    ) {
+        // A lock-increment-heavy program stresses undo/delay collisions.
+        let prog: Vec<Instr> = seeds
+            .iter()
+            .map(|&s| Instr::LockedIncrement { slot: s })
+            .collect();
+        run_crash(
+            ModelKind::Asap,
+            Flavor::Release,
+            &[prog.clone(), prog.clone(), prog],
+            crash_at,
+            8,
+        )?;
+    }
+}
