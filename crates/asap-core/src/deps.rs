@@ -136,8 +136,7 @@ impl DepGraph {
     /// indicate a protocol bug).
     pub fn topological_order(&self) -> Option<Vec<EpochId>> {
         let nodes = self.all_nodes();
-        let mut indegree: HashMap<EpochId, usize> =
-            nodes.iter().map(|&n| (n, 0)).collect();
+        let mut indegree: HashMap<EpochId, usize> = nodes.iter().map(|&n| (n, 0)).collect();
         let mut forward: HashMap<EpochId, Vec<EpochId>> = HashMap::new();
         for &n in &nodes {
             for d in self.direct_deps(n) {

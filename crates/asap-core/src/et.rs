@@ -274,9 +274,10 @@ impl EpochTable {
     /// not already mid-commit.
     pub fn is_committable(&self, ts: u64) -> bool {
         self.is_safe(ts)
-            && self.entries.get(&ts).is_some_and(|e| {
-                e.closed && e.pending_writes == 0 && !e.committing
-            })
+            && self
+                .entries
+                .get(&ts)
+                .is_some_and(|e| e.closed && e.pending_writes == 0 && !e.committing)
     }
 
     /// The oldest epoch if it is committable.

@@ -34,7 +34,17 @@
 //! * [`DepGraph`] — the global epoch-dependency DAG (Fig. 7), used both
 //!   by the protocol bookkeeping and the correctness oracle.
 //! * [`Sim`] — the event-driven system simulator tying cores, caches,
-//!   persist hardware and memory controllers together.
+//!   persist hardware and memory controllers together. Internally it is
+//!   split along the protocol seam: a model-agnostic *engine* (per-core
+//!   state, event queue, run loop) plus shared *flows* (core execution,
+//!   load/store path, flush pipeline, commit protocol) on one side, and
+//!   one `PersistencyModel` trait implementation per design on the
+//!   other. The engine never branches on [`ModelKind`]; a
+//!   construction-time registry picks the implementation when
+//!   [`SimBuilder::build`] runs, and each design keeps its private
+//!   per-core state (baseline's dirty sets, HOPS' timestamp registers,
+//!   ASAP's conservative-mode flags) inside its own model struct. See
+//!   the `sim` module docs for the hook contract.
 //! * [`oracle`] — the machine-checked version of §VI: after a simulated
 //!   crash, verifies that recovered NVM is ordering-consistent.
 //!
@@ -82,8 +92,8 @@ mod sim;
 pub use deps::DepGraph;
 pub use et::{EpochStatus, EpochTable};
 pub use ops::{BurstCtx, BurstStatus, MemOp, ThreadProgram};
-pub use pb::{PbEntry, PbEntryState, PersistBuffer};
 pub use oracle::CrashReport;
+pub use pb::{PbEntry, PbEntryState, PersistBuffer};
 pub use sim::{Sim, SimBuilder, SimOutcome};
 
 // Re-export the model/flavor selectors where users expect them.

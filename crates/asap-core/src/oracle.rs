@@ -87,9 +87,9 @@ pub fn check(journal: &WriteJournal, deps: &DepGraph, nvm: &NvmImage) -> CrashRe
         match rec.seq {
             Some(seq) => {
                 let Some(entry) = journal.get(asap_pm_mem::WriteSeq(seq)) else {
-                    report.violations.push(format!(
-                        "line {line}: owner seq {seq} not in journal"
-                    ));
+                    report
+                        .violations
+                        .push(format!("line {line}: owner seq {seq} not in journal"));
                     continue;
                 };
                 if entry.line != line {
@@ -114,9 +114,9 @@ pub fn check(journal: &WriteJournal, deps: &DepGraph, nvm: &NvmImage) -> CrashRe
                 // must be all zeros, unless the line was part of the
                 // initial pool contents (structure setup).
                 if !nvm.is_preinit(line) && rec.data.iter().any(|&b| b != 0) {
-                    report.violations.push(format!(
-                        "line {line}: untagged recovered line is non-zero"
-                    ));
+                    report
+                        .violations
+                        .push(format!("line {line}: untagged recovered line is non-zero"));
                 }
             }
         }

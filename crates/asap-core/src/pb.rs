@@ -123,9 +123,12 @@ impl PersistBuffer {
         seq: u64,
         epoch: EpochId,
     ) -> Result<bool, Box<LineSnapshot>> {
-        if let Some(e) = self.entries.iter_mut().rev().find(|e| {
-            e.line == line && e.epoch == epoch && e.state == PbEntryState::Waiting
-        }) {
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .rev()
+            .find(|e| e.line == line && e.epoch == epoch && e.state == PbEntryState::Waiting)
+        {
             e.data = data;
             e.seq = seq;
             self.coalesced += 1;
@@ -196,7 +199,9 @@ impl PersistBuffer {
     /// in flight): distinguishes *ordering-blocked* from merely
     /// *bandwidth-limited* buffers in the Figure 3 accounting.
     pub fn has_waiting(&self) -> bool {
-        self.entries.iter().any(|e| e.state == PbEntryState::Waiting)
+        self.entries
+            .iter()
+            .any(|e| e.state == PbEntryState::Waiting)
     }
 
     /// Mark entry `id` as issued (in flight).

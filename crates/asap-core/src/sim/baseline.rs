@@ -1,0 +1,155 @@
+//! Baseline persistency (`clwb` + `sfence`): stores are tracked per
+//! epoch in a per-core dirty set; every `ofence`/`dfence` synchronously
+//! flushes the epoch's dirty lines and stalls the core until the MCs
+//! ack. There is no persist buffer, no epoch table traffic and no
+//! recovery protocol — durability is bought with stalls.
+
+use super::engine::{Block, Engine, Event};
+use super::model::{PersistencyModel, StoreOp};
+use asap_memctrl::{FlushOutcome, FlushPacket};
+use asap_pm_mem::WriteSeq;
+use asap_sim_core::{Cycle, EpochId, LineAddr, ThreadId};
+use std::collections::{HashMap, VecDeque};
+
+pub(super) struct BaselineModel {
+    /// Dirty lines of the current epoch → latest write (seq), per core.
+    sync_dirty: Vec<HashMap<LineAddr, u64>>,
+}
+
+impl BaselineModel {
+    pub(super) fn new(n: usize) -> BaselineModel {
+        BaselineModel {
+            sync_dirty: (0..n).map(|_| HashMap::new()).collect(),
+        }
+    }
+
+    fn start_sync_fence(&mut self, eng: &mut Engine, t: usize, is_dfence: bool) {
+        let dirty: VecDeque<(LineAddr, u64)> = self.sync_dirty[t].drain().collect();
+        if dirty.is_empty() {
+            finish_sync_epoch(eng, t);
+            eng.finish_op(t, Cycle(1));
+            return;
+        }
+        eng.cores[t].blocked = Some(Block::SyncFence {
+            since: eng.now,
+            remaining: dirty.len(),
+            pending: dirty,
+            is_dfence,
+        });
+        issue_sync_flushes(eng, t);
+    }
+}
+
+fn issue_sync_flushes(eng: &mut Engine, t: usize) {
+    let max = eng.cfg.pb_max_inflight;
+    loop {
+        if eng.cores[t].inflight >= max {
+            break;
+        }
+        let item = match &mut eng.cores[t].blocked {
+            Some(Block::SyncFence { pending, .. }) => pending.pop_front(),
+            _ => None,
+        };
+        let Some((line, seq)) = item else {
+            break;
+        };
+        eng.cores[t].inflight += 1;
+        let mc = eng.cfg.mc_of_addr(line.byte_addr());
+        let at = eng.now + eng.cfg.pb_flush_latency;
+        eng.schedule(
+            at,
+            Event::SyncFlushArrive {
+                tid: t,
+                line,
+                seq,
+                mc,
+            },
+        );
+    }
+}
+
+fn finish_sync_epoch(eng: &mut Engine, t: usize) {
+    let e = eng.cores[t].cur_epoch();
+    eng.deps.mark_committed(e);
+    eng.stats.epochs_committed += 1;
+    eng.advance_epoch_untracked(t);
+}
+
+impl PersistencyModel for BaselineModel {
+    fn on_store(&mut self, _eng: &mut Engine, t: usize, op: StoreOp) -> bool {
+        self.sync_dirty[t].insert(op.line, op.seq.0);
+        true
+    }
+
+    fn on_ofence(&mut self, eng: &mut Engine, t: usize) {
+        self.start_sync_fence(eng, t, false);
+    }
+
+    fn on_dfence(&mut self, eng: &mut Engine, t: usize) {
+        self.start_sync_fence(eng, t, true);
+    }
+
+    fn on_sync_flush_arrive(
+        &mut self,
+        eng: &mut Engine,
+        tid: usize,
+        line: LineAddr,
+        seq: u64,
+        mc: usize,
+    ) {
+        // Use the journaled snapshot when available so recovered contents
+        // are attributable to a specific write (falls back to the live
+        // functional image in performance runs).
+        let data = eng
+            .journal
+            .get(WriteSeq(seq))
+            .map(|e| e.data)
+            .unwrap_or_else(|| eng.pm.snapshot_line(line));
+        let pkt = FlushPacket {
+            line,
+            data,
+            seq,
+            epoch: EpochId::new(ThreadId(tid), eng.cores[tid].cur_ts),
+            early: false,
+        };
+        let outcome = eng.mcs[mc].receive_flush(eng.now, &pkt, &mut eng.nvm, &mut eng.stats);
+        match outcome {
+            FlushOutcome::Accepted { accept_at, .. } => {
+                let at = accept_at + eng.cfg.pb_flush_latency;
+                eng.schedule(at, Event::SyncFlushReply { tid });
+            }
+            FlushOutcome::Busy { retry_at } => {
+                let at = retry_at.max(eng.now + Cycle(1));
+                eng.schedule(at, Event::SyncFlushArrive { tid, line, seq, mc });
+            }
+            FlushOutcome::Nacked { .. } => unreachable!("safe flushes are never NACKed"),
+        }
+    }
+
+    fn on_sync_flush_reply(&mut self, eng: &mut Engine, tid: usize) {
+        let done = if let Some(Block::SyncFence { remaining, .. }) = &mut eng.cores[tid].blocked {
+            *remaining -= 1;
+            *remaining == 0
+        } else {
+            false
+        };
+        if done {
+            let Some(Block::SyncFence {
+                since, is_dfence, ..
+            }) = eng.cores[tid].blocked.take()
+            else {
+                unreachable!()
+            };
+            let stall = eng.now.saturating_sub(since).raw();
+            if is_dfence {
+                eng.stats.dfence_stalled += stall;
+            } else {
+                eng.stats.ofence_stalled += stall;
+            }
+            finish_sync_epoch(eng, tid);
+            eng.schedule_step(tid, eng.now);
+        } else {
+            issue_sync_flushes(eng, tid);
+        }
+    }
+}

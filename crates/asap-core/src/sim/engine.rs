@@ -1,0 +1,442 @@
+//! The model-agnostic event machine: per-core state, the event queue,
+//! the run loop and the bookkeeping every persistency design shares.
+//! Protocol decisions live behind [`PersistencyModel`] hooks; the engine
+//! never branches on [`asap_sim_core::ModelKind`].
+
+use super::model::PersistencyModel;
+use crate::deps::DepGraph;
+use crate::ops::{MemOp, ThreadProgram};
+use crate::pb::PersistBuffer;
+use asap_cache_sim::{CoherenceHub, CountingBloom, WriteBackBuffer};
+use asap_memctrl::MemController;
+use asap_pm_mem::{NvmImage, PmSpace, WriteJournal};
+use asap_sim_core::{
+    Cycle, EpochId, EventQueue, Flavor, LineAddr, McId, SimConfig, Stats, ThreadId,
+};
+use std::collections::{HashMap, VecDeque};
+
+/// Why a core is not executing.
+#[derive(Debug, Clone)]
+pub(super) enum Block {
+    /// Persist buffer full; the pending store op is parked here.
+    PbFull { since: Cycle, op: MemOp },
+    /// Epoch table full; the pending fence op is parked here.
+    EtFull { since: Cycle, op: MemOp },
+    /// Waiting on `dfence` (all epochs must commit).
+    DFence { since: Cycle },
+    /// Baseline synchronous fence: waiting for `remaining` flush acks,
+    /// with `pending` lines still to issue.
+    SyncFence {
+        since: Cycle,
+        remaining: usize,
+        pending: VecDeque<(LineAddr, u64)>,
+        is_dfence: bool,
+    },
+}
+
+/// Per-core simulation state (model-agnostic; per-design state such as
+/// ASAP's conservative flag lives in the model structs).
+pub(super) struct Core {
+    pub tid: ThreadId,
+    pub pb: PersistBuffer,
+    pub et: crate::et::EpochTable,
+    pub cur_ts: u64,
+    pub burst: VecDeque<MemOp>,
+    pub program_finished: bool,
+    pub retire_fence_issued: bool,
+    pub done: bool,
+    pub blocked: Option<Block>,
+    pub inflight: usize,
+    pub core_free_at: Cycle,
+    pub step_scheduled: bool,
+    pub pb_occ_last: Cycle,
+    pub pb_blocked_since: Option<Cycle>,
+    pub ops_completed: u64,
+    /// Write-back buffer (§V-F): parks dirty private-cache evictions
+    /// whose line still has preceding writes in the persist buffer.
+    pub wbb: WriteBackBuffer,
+}
+
+impl Core {
+    pub(super) fn cur_epoch(&self) -> EpochId {
+        EpochId::new(self.tid, self.cur_ts)
+    }
+}
+
+/// Simulator events.
+#[derive(Debug)]
+pub(super) enum Event {
+    CoreStep(usize),
+    TryFlush(usize),
+    FlushArrive {
+        tid: usize,
+        entry_id: u64,
+        mc: usize,
+    },
+    FlushReply {
+        tid: usize,
+        entry_id: u64,
+        ok: bool,
+    },
+    SyncFlushArrive {
+        tid: usize,
+        line: LineAddr,
+        seq: u64,
+        mc: usize,
+    },
+    SyncFlushReply {
+        tid: usize,
+    },
+    CommitArrive {
+        mc: usize,
+        epoch: EpochId,
+    },
+    CommitAckArrive {
+        epoch: EpochId,
+    },
+    CdrArrive {
+        tid: usize,
+        src: EpochId,
+    },
+    HopsPoll {
+        tid: usize,
+    },
+}
+
+/// The shared machine: everything of Table II that exists regardless of
+/// the persistency design being simulated.
+pub(super) struct Engine {
+    pub cfg: SimConfig,
+    pub flavor: Flavor,
+    pub now: Cycle,
+    pub queue: EventQueue<Event>,
+    pub cores: Vec<Core>,
+    pub programs: Vec<Box<dyn ThreadProgram>>,
+    pub hub: CoherenceHub,
+    pub mcs: Vec<MemController>,
+    pub pm: PmSpace,
+    pub nvm: NvmImage,
+    pub journal: WriteJournal,
+    pub deps: DepGraph,
+    pub stats: Stats,
+    /// Release persistency: line → epoch of the last release-store.
+    pub release_map: HashMap<LineAddr, EpochId>,
+    /// Per-MC counting Bloom filters of NACKed flush addresses (§V-F):
+    /// LLC evictions of a filtered line must wait for the retry.
+    pub nack_filters: Vec<CountingBloom>,
+    pub events_processed: u64,
+    pub crashed: bool,
+    /// Construction-time model capabilities (see
+    /// [`PersistencyModel::uses_pb`] / `wants_background_flush`).
+    pub uses_pb: bool,
+    pub flush_engine: bool,
+}
+
+impl Engine {
+    pub(super) fn new(
+        cfg: SimConfig,
+        flavor: Flavor,
+        programs: Vec<Box<dyn ThreadProgram>>,
+        journal: bool,
+        uses_pb: bool,
+        flush_engine: bool,
+    ) -> Engine {
+        let n = cfg.num_cores;
+        let mut cores = Vec::with_capacity(n);
+        let mut deps = DepGraph::new();
+        for i in 0..n {
+            let tid = ThreadId(i);
+            let mut et = crate::et::EpochTable::new(tid, cfg.et_entries);
+            et.open(0);
+            deps.ensure(EpochId::new(tid, 0));
+            cores.push(Core {
+                tid,
+                pb: PersistBuffer::new(cfg.pb_entries),
+                et,
+                cur_ts: 0,
+                burst: VecDeque::new(),
+                program_finished: false,
+                retire_fence_issued: false,
+                done: false,
+                blocked: None,
+                inflight: 0,
+                core_free_at: Cycle::ZERO,
+                step_scheduled: false,
+                pb_occ_last: Cycle::ZERO,
+                pb_blocked_since: None,
+                ops_completed: 0,
+                wbb: WriteBackBuffer::new(8),
+            });
+        }
+        let hub = CoherenceHub::new(&cfg);
+        let mcs = (0..cfg.num_mcs)
+            .map(|i| MemController::new(McId(i), &cfg))
+            .collect();
+        let mut queue = EventQueue::new();
+        for i in 0..n {
+            queue.push(Cycle::ZERO, Event::CoreStep(i));
+        }
+        let nack_filters = (0..cfg.num_mcs)
+            .map(|_| CountingBloom::new(1024, 3))
+            .collect();
+        let mut eng = Engine {
+            cfg,
+            flavor,
+            now: Cycle::ZERO,
+            queue,
+            cores,
+            programs,
+            hub,
+            mcs,
+            pm: PmSpace::new(),
+            nvm: NvmImage::new(),
+            journal: if journal {
+                WriteJournal::enabled()
+            } else {
+                WriteJournal::disabled()
+            },
+            deps,
+            stats: Stats::new(),
+            release_map: HashMap::new(),
+            nack_filters,
+            events_processed: 0,
+            crashed: false,
+            uses_pb,
+            flush_engine,
+        };
+        for c in &mut eng.cores {
+            c.step_scheduled = true;
+        }
+        eng
+    }
+
+    // ---------------------------------------------------------------
+    // Run loop
+    // ---------------------------------------------------------------
+
+    pub(super) fn run_until(&mut self, m: &mut dyn PersistencyModel, limit: Option<Cycle>) {
+        const EVENT_BUDGET: u64 = 2_000_000_000;
+        while !self.all_done() {
+            let Some(next_time) = self.queue.peek_time() else {
+                panic!(
+                    "deadlock at {}: no events pending but threads unfinished: {}",
+                    self.now,
+                    self.dump_state(m)
+                );
+            };
+            if let Some(l) = limit {
+                if next_time > l {
+                    self.now = l;
+                    break;
+                }
+            }
+            let (t, ev) = self.queue.pop().expect("peeked");
+            self.now = t;
+            self.events_processed += 1;
+            if std::env::var_os("ASAP_TRACE").is_some() {
+                eprintln!("[{}] {:?}", self.now, ev);
+            }
+            assert!(
+                self.events_processed < EVENT_BUDGET,
+                "event budget exhausted at {} after {} events (runaway simulation?) ev={:?} state={}",
+                self.now,
+                self.events_processed,
+                ev,
+                self.dump_state(m)
+            );
+            self.dispatch(m, ev);
+        }
+        self.finish_accounting();
+    }
+
+    fn dispatch(&mut self, m: &mut dyn PersistencyModel, ev: Event) {
+        match ev {
+            Event::CoreStep(t) => self.core_step(m, t),
+            Event::TryFlush(t) => self.try_flush(m, t),
+            Event::FlushArrive { tid, entry_id, mc } => self.flush_arrive(m, tid, entry_id, mc),
+            Event::FlushReply { tid, entry_id, ok } => {
+                self.cores[tid].inflight -= 1;
+                m.on_flush_reply(self, tid, entry_id, ok);
+            }
+            Event::SyncFlushArrive { tid, line, seq, mc } => {
+                m.on_sync_flush_arrive(self, tid, line, seq, mc)
+            }
+            Event::SyncFlushReply { tid } => {
+                self.cores[tid].inflight -= 1;
+                m.on_sync_flush_reply(self, tid);
+            }
+            Event::CommitArrive { mc, epoch } => self.commit_arrive(mc, epoch),
+            Event::CommitAckArrive { epoch } => self.commit_ack_arrive(m, epoch),
+            Event::CdrArrive { tid, src } => self.cdr_arrive(m, tid, src),
+            Event::HopsPoll { tid } => m.on_poll(self, tid),
+        }
+    }
+
+    pub(super) fn all_done(&self) -> bool {
+        self.cores.iter().all(|c| c.done)
+    }
+
+    pub(super) fn finish_accounting(&mut self) {
+        self.stats.finish(self.now);
+        let num_cores = self.cores.len();
+        for i in 0..num_cores {
+            // Close open PB-occupancy and blocked intervals.
+            let now = self.now;
+            let c = &mut self.cores[i];
+            let occ = c.pb.len();
+            let dt = now.saturating_sub(c.pb_occ_last).raw();
+            self.stats.pb_occupancy.record_weighted(occ, dt);
+            c.pb_occ_last = now;
+            if let Some(s) = c.pb_blocked_since.take() {
+                self.stats.cycles_blocked += now.saturating_sub(s).raw();
+            }
+            self.stats.et_occupancy.record(c.et.len());
+        }
+        self.stats.ops_completed = self.cores.iter().map(|c| c.ops_completed).sum();
+        let rt_max = self
+            .mcs
+            .iter()
+            .map(|m| m.rt().max_occupancy())
+            .max()
+            .unwrap_or(0);
+        self.stats.rt_occupancy.record(rt_max);
+        let wpq_coalesced: u64 = self.mcs.iter().map(|m| m.wpq_coalesced()).sum();
+        self.stats.wpq_coalesced = wpq_coalesced;
+    }
+
+    /// Diagnostic snapshot of every unfinished core (deadlock reports).
+    pub(super) fn dump_state(&self, m: &dyn PersistencyModel) -> String {
+        self.cores
+            .iter()
+            .filter(|c| !c.done)
+            .map(|c| {
+                let states: Vec<String> =
+                    c.pb.iter()
+                        .take(4)
+                        .map(|e| format!("{}@{}:{:?}", e.epoch, e.line, e.state))
+                        .collect();
+                format!(
+                    "[{}: blocked={:?} pb={} et={} cur_ts={} inflight={} conservative={} \
+                     oldest_safe={:?} oldest_dep={:?} head={:?}]",
+                    c.tid,
+                    c.blocked.as_ref().map(block_name),
+                    c.pb.len(),
+                    c.et.len(),
+                    c.cur_ts,
+                    c.inflight,
+                    m.debug_conservative(c.tid.0),
+                    c.et.oldest_safe_ts(),
+                    c.et.oldest_unresolved_dep(),
+                    states
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    // ---------------------------------------------------------------
+    // Scheduling helpers
+    // ---------------------------------------------------------------
+
+    pub(super) fn schedule(&mut self, at: Cycle, ev: Event) {
+        self.queue.push(at.max(self.now), ev);
+    }
+
+    pub(super) fn schedule_step(&mut self, t: usize, at: Cycle) {
+        if !self.cores[t].step_scheduled && !self.cores[t].done {
+            self.cores[t].step_scheduled = true;
+            self.schedule(at, Event::CoreStep(t));
+        }
+    }
+
+    pub(super) fn schedule_flush(&mut self, t: usize) {
+        if self.flush_engine {
+            // The flush engine arbitrates a few cycles after enqueue;
+            // the slack also lets back-to-back stores to one line inside
+            // a burst coalesce instead of racing their own flush.
+            self.schedule(self.now + Cycle(8), Event::TryFlush(t));
+        }
+    }
+
+    pub(super) fn finish_op(&mut self, t: usize, latency: Cycle) {
+        let free = self.now + latency.max(Cycle(1));
+        self.cores[t].core_free_at = free;
+        self.schedule_step(t, free);
+    }
+
+    // ---------------------------------------------------------------
+    // Shared bookkeeping
+    // ---------------------------------------------------------------
+
+    /// Advance the epoch counter without ET bookkeeping (baseline and
+    /// battery-backed fences).
+    pub(super) fn advance_epoch_untracked(&mut self, t: usize) {
+        self.cores[t].cur_ts += 1;
+        let e = self.cores[t].cur_epoch();
+        self.deps.ensure(e);
+        self.stats.epochs_created += 1;
+    }
+
+    pub(super) fn wake_safe_nacked(&mut self, t: usize) {
+        // Only the oldest in-flight epoch can be safe; NACKed entries of
+        // committed epochs cannot exist (their acks never arrived).
+        let safe_ts = self.cores[t].et.oldest_safe_ts();
+        let woken = self.cores[t].pb.wake_nacked(|e| Some(e.ts) == safe_ts);
+        if woken > 0 {
+            self.schedule_flush(t);
+        }
+    }
+
+    pub(super) fn unblock_pb_full(&mut self, t: usize) {
+        if matches!(self.cores[t].blocked, Some(Block::PbFull { .. }))
+            && !self.cores[t].pb.is_full()
+        {
+            let Some(Block::PbFull { since, op }) = self.cores[t].blocked.take() else {
+                unreachable!()
+            };
+            self.stats.cycles_stalled += self.now.saturating_sub(since).raw();
+            self.cores[t].burst.push_front(op);
+            self.schedule_step(t, self.now);
+        }
+    }
+
+    pub(super) fn note_pb_occ_change(&mut self, t: usize, occ_before: usize) {
+        let dt = self.now.saturating_sub(self.cores[t].pb_occ_last).raw();
+        self.stats.pb_occupancy.record_weighted(occ_before, dt);
+        self.cores[t].pb_occ_last = self.now;
+    }
+
+    pub(super) fn update_pb_blocked(&mut self, m: &dyn PersistencyModel, t: usize) {
+        if !self.uses_pb {
+            return;
+        }
+        // Ordering-blocked (Figure 3): a write is sitting in the buffer
+        // that the flush policy refuses to issue. Buffers that are merely
+        // waiting for in-flight acks are bandwidth-limited, not blocked.
+        let blocked_now = {
+            let core = &self.cores[t];
+            core.pb.has_waiting()
+                && core
+                    .pb
+                    .next_flushable(|e| m.epoch_eligible(self, t, e), !m.relaxed_lines(t))
+                    .is_none()
+        };
+        match (self.cores[t].pb_blocked_since, blocked_now) {
+            (None, true) => self.cores[t].pb_blocked_since = Some(self.now),
+            (Some(s), false) => {
+                self.stats.cycles_blocked += self.now.saturating_sub(s).raw();
+                self.cores[t].pb_blocked_since = None;
+            }
+            _ => {}
+        }
+    }
+}
+
+pub(super) fn block_name(b: &Block) -> &'static str {
+    match b {
+        Block::PbFull { .. } => "PbFull",
+        Block::EtFull { .. } => "EtFull",
+        Block::DFence { .. } => "DFence",
+        Block::SyncFence { .. } => "SyncFence",
+    }
+}

@@ -1,0 +1,308 @@
+//! The event-driven system simulator.
+//!
+//! One [`Sim`] instance models the whole machine of Table II: N cores with
+//! private caches, persist buffers and epoch tables; a shared LLC
+//! directory; M memory controllers with WPQs, NVM media pipes and (for
+//! ASAP) recovery tables. The persistency *model*
+//! ([`ModelKind`]) selects how stores become durable:
+//!
+//! * **Baseline** — stores are tracked per epoch; every `ofence`/`dfence`
+//!   synchronously flushes the epoch's dirty lines (`clwb`) and stalls the
+//!   core until the MCs ack (`sfence`).
+//! * **HOPS** — stores enter the persist buffer; the PB flushes only
+//!   epochs that are *safe* (conservative flushing); cross-thread
+//!   dependencies resolve by polling the global timestamp register.
+//! * **ASAP** — the PB flushes *eagerly*: any entry may be issued, tagged
+//!   *early* when its epoch is not yet safe. MCs speculatively update
+//!   memory, guarded by recovery-table undo/delay records; epoch commits
+//!   send commit messages to the MCs that saw early flushes, and CDR
+//!   messages resolve cross-thread dependencies. NACKs (full RT) drop the
+//!   PB into conservative mode until the current epoch commits.
+//! * **eADR** — stores are durable in cache; fences cost ~a cycle.
+//! * **BBB** — stores are durable once inside the battery-backed persist
+//!   buffer; the buffer drains in the background and back-pressures the
+//!   core only when full.
+//!
+//! Execution interleaves *functional* burst generation (see
+//! [`crate::ops`]) with timed micro-op execution; every interaction that
+//! the paper's mechanisms care about (flush/ack round trips, WPQ
+//! backpressure, NACKs, commit/CDR messages, polling) is an explicit
+//! event with configured latency.
+//!
+//! # Module layout
+//!
+//! The simulator is split along the protocol seam:
+//!
+//! * [`engine`] — the model-agnostic machine: per-core state, the event
+//!   queue, the run loop, scheduling and accounting.
+//! * `flows` — the engine's shared flows: core execution, the
+//!   load/store path, cross-thread dependencies, the flush pipeline and
+//!   the commit protocol. Each protocol decision defers to a hook.
+//! * [`model`] — the `PersistencyModel` trait (the hook contract) and
+//!   the construction-time registry `build_model`.
+//! * `baseline` / `hops` / `asap` / `eadr_bbb` — one implementation per
+//!   design, holding that design's private per-core state (baseline's
+//!   dirty sets, HOPS' global timestamps and poll flags, ASAP's
+//!   conservative-mode flags).
+//!
+//! The engine never branches on [`ModelKind`]; dispatch is fixed when
+//! [`SimBuilder::build`] resolves the kind through the registry.
+
+mod asap;
+mod baseline;
+mod eadr_bbb;
+mod engine;
+mod flows;
+mod hops;
+mod model;
+
+use crate::ops::ThreadProgram;
+use crate::oracle::{self, CrashReport};
+use asap_pm_mem::{NvmImage, PmSpace};
+use asap_sim_core::{Cycle, Flavor, ModelKind, SimConfig, Stats};
+use engine::Engine;
+use model::{build_model, PersistencyModel};
+
+/// Summary of a completed (or truncated) run.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Simulated end time.
+    pub cycles: Cycle,
+    /// Total logical operations completed across threads.
+    pub ops_completed: u64,
+    /// Whether every thread retired.
+    pub all_done: bool,
+}
+
+/// Builder for [`Sim`] ([C-BUILDER]).
+pub struct SimBuilder {
+    cfg: SimConfig,
+    model: ModelKind,
+    flavor: Flavor,
+    programs: Vec<Box<dyn ThreadProgram>>,
+    journal: bool,
+}
+
+impl SimBuilder {
+    /// Start building a simulation of `model` under `flavor` on the
+    /// hardware described by `cfg`.
+    pub fn new(cfg: SimConfig, model: ModelKind, flavor: Flavor) -> SimBuilder {
+        SimBuilder {
+            cfg,
+            model,
+            flavor,
+            programs: Vec::new(),
+            journal: false,
+        }
+    }
+
+    /// Add one thread program (one core).
+    pub fn program(mut self, p: Box<dyn ThreadProgram>) -> SimBuilder {
+        self.programs.push(p);
+        self
+    }
+
+    /// Add many thread programs.
+    pub fn programs(mut self, ps: Vec<Box<dyn ThreadProgram>>) -> SimBuilder {
+        self.programs.extend(ps);
+        self
+    }
+
+    /// Enable the write journal (required for crash-consistency checks;
+    /// costs memory proportional to store count).
+    pub fn with_journal(mut self) -> SimBuilder {
+        self.journal = true;
+        self
+    }
+
+    /// Build the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no programs were supplied or more programs than
+    /// configured cores.
+    pub fn build(mut self) -> Sim {
+        assert!(!self.programs.is_empty(), "at least one program required");
+        assert!(
+            self.programs.len() <= self.cfg.num_cores,
+            "more programs ({}) than cores ({})",
+            self.programs.len(),
+            self.cfg.num_cores
+        );
+        // Unused cores idle; shrink to the active set for cleanliness.
+        self.cfg.num_cores = self.programs.len();
+        let n = self.cfg.num_cores;
+        let model = build_model(self.model, n);
+        let engine = Engine::new(
+            self.cfg,
+            self.flavor,
+            self.programs,
+            self.journal,
+            model.uses_pb(),
+            model.wants_background_flush(),
+        );
+        Sim {
+            engine,
+            model,
+            kind: self.model,
+        }
+    }
+}
+
+/// The system simulator. See the module docs for the model semantics.
+///
+/// `Sim` pairs the model-agnostic [`engine`] with the boxed
+/// [`model::PersistencyModel`] chosen at build time; every protocol
+/// decision flows through the trait, never through a `ModelKind` branch.
+pub struct Sim {
+    engine: Engine,
+    model: Box<dyn PersistencyModel>,
+    kind: ModelKind,
+}
+
+impl Sim {
+    // ---------------------------------------------------------------
+    // Public API
+    // ---------------------------------------------------------------
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycle {
+        self.engine.now
+    }
+
+    /// The configuration being simulated.
+    pub fn config(&self) -> &SimConfig {
+        &self.engine.cfg
+    }
+
+    /// The model being simulated.
+    pub fn model(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// The persistency flavour being simulated.
+    pub fn flavor(&self) -> Flavor {
+        self.engine.flavor
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &Stats {
+        &self.engine.stats
+    }
+
+    /// The functional (program-visible) PM image.
+    pub fn pm(&self) -> &PmSpace {
+        &self.engine.pm
+    }
+
+    /// The persisted (media) image.
+    pub fn nvm(&self) -> &NvmImage {
+        &self.engine.nvm
+    }
+
+    /// The epoch dependency graph.
+    pub fn deps(&self) -> &crate::deps::DepGraph {
+        &self.engine.deps
+    }
+
+    /// Maximum recovery-table occupancy across MCs (Figure 12).
+    pub fn rt_max_occupancy(&self) -> usize {
+        self.engine
+            .mcs
+            .iter()
+            .map(|m| m.rt().max_occupancy())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total NVM media line writes across MCs.
+    pub fn media_writes(&self) -> u64 {
+        self.engine.mcs.iter().map(|m| m.media_writes()).sum()
+    }
+
+    /// Fraction of wall-clock during which MC media pipes were busy
+    /// (Figure 13's bandwidth utilization).
+    pub fn media_utilization(&self) -> f64 {
+        if self.engine.now == Cycle::ZERO {
+            return 0.0;
+        }
+        let busy: u64 = self
+            .engine
+            .mcs
+            .iter()
+            .map(|m| m.media_writes() * m.write_occupancy().raw())
+            .sum();
+        busy as f64 / (self.engine.now.raw() as f64 * self.engine.cfg.num_mcs as f64)
+    }
+
+    /// Run until every thread retires. Returns the outcome summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system deadlocks (no pending events while threads
+    /// are unfinished) — this is the machine-checked version of the
+    /// paper's forward-progress theorem — or if an internal event budget
+    /// is exhausted.
+    pub fn run_to_completion(&mut self) -> SimOutcome {
+        self.run_until(None)
+    }
+
+    /// Run until simulated time reaches `limit` (events beyond it stay
+    /// queued) or every thread retires.
+    pub fn run_for(&mut self, limit: Cycle) -> SimOutcome {
+        self.run_until(Some(limit))
+    }
+
+    fn run_until(&mut self, limit: Option<Cycle>) -> SimOutcome {
+        self.engine.run_until(self.model.as_mut(), limit);
+        SimOutcome {
+            cycles: self.engine.now,
+            ops_completed: self.engine.stats.ops_completed,
+            all_done: self.engine.all_done(),
+        }
+    }
+
+    /// Reset the statistics block, starting a fresh measurement region
+    /// (the gem5 artifact's warmup → ROI transition). Component-level
+    /// high-water marks that describe hardware sizing (recovery-table
+    /// max occupancy) intentionally keep their whole-run values.
+    pub fn reset_stats(&mut self) {
+        self.engine.stats = Stats::new();
+        let now = self.engine.now;
+        for c in &mut self.engine.cores {
+            c.pb_occ_last = now;
+            c.pb_blocked_since = None;
+            c.ops_completed = 0;
+        }
+    }
+
+    /// Simulate a power failure *now*: battery-backed buffers drain
+    /// (model hook), ADR drains the WPQs (already reflected in the NVM
+    /// image) and the undo records write back (§V-E), then the recovered
+    /// image is checked against the write journal and dependency DAG
+    /// (§VI). Requires [`SimBuilder::with_journal`].
+    pub fn crash_and_check(&mut self) -> CrashReport {
+        assert!(
+            self.engine.journal.is_enabled(),
+            "crash checking requires SimBuilder::with_journal()"
+        );
+        self.engine.crashed = true;
+        if self.model.on_crash(&mut self.engine) {
+            // The whole hierarchy is durable: trivially consistent.
+            return CrashReport::default();
+        }
+        let mut undone = 0;
+        for mc in &mut self.engine.mcs {
+            undone += mc.crash(&mut self.engine.nvm);
+        }
+        let mut report = oracle::check(&self.engine.journal, &self.engine.deps, &self.engine.nvm);
+        report.undo_records_applied = undone;
+        report
+    }
+
+    /// Crash at an arbitrary instant: run until `at`, then crash.
+    pub fn crash_at(&mut self, at: Cycle) -> CrashReport {
+        self.run_for(at);
+        self.crash_and_check()
+    }
+}

@@ -1,0 +1,163 @@
+//! The persistency-model protocol layer.
+//!
+//! [`PersistencyModel`] is the seam between the model-agnostic event
+//! machine ([`Engine`]) and the five persistency designs of the paper.
+//! The engine owns everything every design shares — cores, caches,
+//! persist buffers, epoch tables, memory controllers, the event queue —
+//! and calls a hook at each point where the designs diverge: what
+//! happens on a store, a fence, a flush ack/NACK, an epoch commit, a
+//! cross-thread dependency, a crash.
+//!
+//! Dispatch is fixed at construction time ([`build_model`]): the engine
+//! never branches on [`ModelKind`], so adding a design means adding an
+//! implementation file and a registry entry, not editing the machine.
+
+use super::engine::Engine;
+use crate::ops::MemOp;
+use asap_pm_mem::{LineSnapshot, WriteSeq};
+use asap_sim_core::{EpochId, LineAddr, ModelKind, ThreadId};
+
+/// A store leaving the core, after coherence and epoch assignment but
+/// before the persist path sees it. `addr`/`seq`/`data`/`release` are
+/// kept so a model that must stall the core can re-park the original op
+/// (see [`StoreOp::park`]).
+pub(super) struct StoreOp {
+    pub addr: u64,
+    pub line: LineAddr,
+    pub seq: WriteSeq,
+    pub data: Box<LineSnapshot>,
+    pub release: bool,
+    pub epoch: EpochId,
+}
+
+impl StoreOp {
+    /// Rebuild the original memory op (for re-parking on a stall).
+    pub(super) fn park(addr: u64, seq: WriteSeq, data: Box<LineSnapshot>, release: bool) -> MemOp {
+        if release {
+            MemOp::Release { addr, seq, data }
+        } else {
+            MemOp::Store { addr, seq, data }
+        }
+    }
+}
+
+/// Protocol hooks for one persistency design.
+///
+/// Hooks take `(&mut self, eng: &mut Engine, ..)`: model state and
+/// engine state are disjoint, so a hook can re-enter engine flows that
+/// themselves take the model as `&mut dyn PersistencyModel` (e.g.
+/// `eng.split_epoch(self, t)`).
+pub(super) trait PersistencyModel {
+    /// Does this design route stores through a tracked persist buffer
+    /// with epoch-table accounting (HOPS, ASAP)?
+    fn uses_pb(&self) -> bool {
+        false
+    }
+
+    /// Does a background flush engine drain this design's buffers
+    /// (HOPS, ASAP — and BBB, whose untracked buffer still drains)?
+    fn wants_background_flush(&self) -> bool {
+        self.uses_pb()
+    }
+
+    /// A store retired from the core. Return `false` if the core is now
+    /// stalled (the hook has parked the op); the engine then skips
+    /// release handling and op completion.
+    fn on_store(&mut self, eng: &mut Engine, t: usize, op: StoreOp) -> bool;
+
+    /// An `ofence` (intra-thread ordering fence).
+    fn on_ofence(&mut self, eng: &mut Engine, t: usize);
+
+    /// A `dfence` (durability fence).
+    fn on_dfence(&mut self, eng: &mut Engine, t: usize);
+
+    /// May the flush engine reorder same-line flushes across epochs for
+    /// thread `t` (the recovery table sorts them out)?
+    fn relaxed_lines(&self, _t: usize) -> bool {
+        false
+    }
+
+    /// May the flush engine issue entries of epoch `e` for thread `t`?
+    fn epoch_eligible(&self, _eng: &Engine, _t: usize, _e: EpochId) -> bool {
+        false
+    }
+
+    /// Is a flush of thread `t`'s epoch `ts` issued *early* (before the
+    /// epoch is safe), requiring recovery-table protection?
+    fn flushes_early(&self, _eng: &Engine, _t: usize, _ts: u64) -> bool {
+        false
+    }
+
+    /// A flush ack (`ok`) or NACK (`!ok`) returned to thread `tid` for
+    /// persist-buffer entry `entry_id`.
+    fn on_flush_reply(&mut self, _eng: &mut Engine, _tid: usize, _entry_id: u64, _ok: bool) {
+        unreachable!("this model issues no persist-buffer flushes");
+    }
+
+    /// Must an epoch commit round-trip to the MCs that saw its early
+    /// flushes (ASAP's recovery-table cleanup) before finalizing?
+    fn commit_needs_mc_roundtrip(&self) -> bool {
+        false
+    }
+
+    /// Thread `t`'s epoch `ts` just committed (dependency graph and
+    /// stats already updated). `dependents` are the threads whose epochs
+    /// wait on this one. Runs *before* the engine releases fences.
+    fn on_commit(&mut self, _eng: &mut Engine, _t: usize, _ts: u64, _dependents: &[ThreadId]) {}
+
+    /// Late commit hook: runs after the engine has released blocked
+    /// fences for thread `t` but before it re-arms the flush engine.
+    fn on_commit_settled(&mut self, _eng: &mut Engine, _t: usize) {}
+
+    /// Thread `t` just registered a cross-thread dependency.
+    fn on_cross_dep(&mut self, _eng: &mut Engine, _t: usize) {}
+
+    /// A CDR (or poll-resolved) message finished processing at `tid`.
+    fn on_cdr(&mut self, _eng: &mut Engine, _tid: usize) {}
+
+    /// A scheduled poll event fired for `tid` (HOPS global timestamp).
+    fn on_poll(&mut self, _eng: &mut Engine, _tid: usize) {}
+
+    /// A synchronous (baseline) flush arrived at MC `mc`.
+    fn on_sync_flush_arrive(
+        &mut self,
+        _eng: &mut Engine,
+        _tid: usize,
+        _line: LineAddr,
+        _seq: u64,
+        _mc: usize,
+    ) {
+        unreachable!("this model issues no synchronous flushes");
+    }
+
+    /// A synchronous flush ack returned to thread `tid`.
+    fn on_sync_flush_reply(&mut self, _eng: &mut Engine, _tid: usize) {
+        unreachable!("this model issues no synchronous flushes");
+    }
+
+    /// Power failed. Apply battery-backed drains to the NVM image.
+    /// Return `true` to skip the recovery oracle entirely (the whole
+    /// hierarchy is durable, so recovery is trivially consistent).
+    fn on_crash(&mut self, _eng: &mut Engine) -> bool {
+        false
+    }
+
+    /// Whether thread `t` is in conservative-flush fallback (deadlock
+    /// diagnostics only).
+    fn debug_conservative(&self, _t: usize) -> bool {
+        false
+    }
+}
+
+/// The model registry: construction-time dispatch from [`ModelKind`] to
+/// an implementation, with per-thread state sized for `n` cores. This is
+/// the only place a `ModelKind` is mapped to protocol behaviour.
+pub(super) fn build_model(kind: ModelKind, n: usize) -> Box<dyn PersistencyModel> {
+    match kind {
+        ModelKind::Baseline => Box::new(super::baseline::BaselineModel::new(n)),
+        ModelKind::Hops => Box::new(super::hops::HopsModel::new(n)),
+        ModelKind::Asap => Box::new(super::asap::AsapModel::new(n)),
+        ModelKind::Eadr => Box::new(super::eadr_bbb::EadrModel),
+        ModelKind::Bbb => Box::new(super::eadr_bbb::BbbModel),
+    }
+}

@@ -102,7 +102,12 @@ fn asap_commits_all_epochs() {
 
 #[test]
 fn crash_after_completion_is_consistent_for_every_model() {
-    for model in [ModelKind::Baseline, ModelKind::Hops, ModelKind::Asap, ModelKind::Eadr] {
+    for model in [
+        ModelKind::Baseline,
+        ModelKind::Hops,
+        ModelKind::Asap,
+        ModelKind::Eadr,
+    ] {
         let mut sim = build(model, Flavor::Release, vec![writer(20, 3, 0x20_0000)]);
         sim.run_to_completion();
         let r = sim.crash_and_check();
@@ -121,11 +126,7 @@ fn midrun_crashes_are_consistent() {
             vec![writer(60, 4, 0x30_0000), writer(60, 4, 0x40_0000)],
         );
         let r = sim.crash_at(Cycle(at));
-        assert!(
-            r.is_consistent(),
-            "crash at {at}: {:?}",
-            r.violations
-        );
+        assert!(r.is_consistent(), "crash at {at}: {:?}", r.violations);
     }
 }
 
@@ -135,7 +136,11 @@ fn midrun_crashes_consistent_for_hops_and_baseline() {
         for at in [1_000u64, 10_000, 60_000] {
             let mut sim = build(model, Flavor::Release, vec![writer(40, 4, 0x50_0000)]);
             let r = sim.crash_at(Cycle(at));
-            assert!(r.is_consistent(), "{model} crash at {at}: {:?}", r.violations);
+            assert!(
+                r.is_consistent(),
+                "{model} crash at {at}: {:?}",
+                r.violations
+            );
         }
     }
 }
@@ -394,7 +399,11 @@ fn bbb_crash_drains_buffers() {
     // Crash mid-run: the battery drains the persist buffers, so recovery
     // must be consistent and every executed epoch durable.
     for at in [2_000u64, 20_000, 100_000] {
-        let mut sim = build(ModelKind::Bbb, Flavor::Release, vec![writer(60, 4, 0xf8_0000)]);
+        let mut sim = build(
+            ModelKind::Bbb,
+            Flavor::Release,
+            vec![writer(60, 4, 0xf8_0000)],
+        );
         let r = sim.crash_at(Cycle(at));
         assert!(r.is_consistent(), "BBB crash at {at}: {:?}", r.violations);
     }
@@ -438,14 +447,22 @@ fn determinism_same_seedless_run_is_identical() {
             ],
         );
         let out = sim.run_to_completion();
-        (out.cycles, sim.stats().nvm_writes, sim.stats().inter_t_epoch_conflict)
+        (
+            out.cycles,
+            sim.stats().nvm_writes,
+            sim.stats().inter_t_epoch_conflict,
+        )
     };
     assert_eq!(run(), run());
 }
 
 #[test]
 fn run_for_truncates_at_limit() {
-    let mut sim = build(ModelKind::Asap, Flavor::Release, vec![writer(1000, 4, 0xf0_0000)]);
+    let mut sim = build(
+        ModelKind::Asap,
+        Flavor::Release,
+        vec![writer(1000, 4, 0xf0_0000)],
+    );
     let out = sim.run_for(Cycle(5_000));
     assert!(!out.all_done);
     assert!(out.cycles <= Cycle(5_000));

@@ -1,12 +1,11 @@
-//! Criterion benches for the DESIGN.md ablations: RT size, PB size, NVM
-//! write latency and MC count sweeps.
+//! Benches for the DESIGN.md ablations: RT size, PB size, NVM write
+//! latency and MC count sweeps.
 
+use asap_bench::Bench;
 use asap_harness::experiments::{
     abl_mc_count, abl_nvm_bw, abl_pb_size, abl_rt_size, ExperimentScale,
 };
 use asap_sim_core::Cycle;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
 fn bench_scale() -> ExperimentScale {
     ExperimentScale {
@@ -16,33 +15,10 @@ fn bench_scale() -> ExperimentScale {
     }
 }
 
-fn rt_size(c: &mut Criterion) {
-    c.bench_function("abl_rt_size", |b| {
-        b.iter(|| black_box(abl_rt_size(bench_scale())))
-    });
+fn main() {
+    let b = Bench::new().sample_size(10);
+    b.run("abl_rt_size", || abl_rt_size(bench_scale()));
+    b.run("abl_pb_size", || abl_pb_size(bench_scale()));
+    b.run("abl_nvm_bw", || abl_nvm_bw(bench_scale()));
+    b.run("abl_mc_count", || abl_mc_count(bench_scale()));
 }
-
-fn pb_size(c: &mut Criterion) {
-    c.bench_function("abl_pb_size", |b| {
-        b.iter(|| black_box(abl_pb_size(bench_scale())))
-    });
-}
-
-fn nvm_bw(c: &mut Criterion) {
-    c.bench_function("abl_nvm_bw", |b| {
-        b.iter(|| black_box(abl_nvm_bw(bench_scale())))
-    });
-}
-
-fn mc_count(c: &mut Criterion) {
-    c.bench_function("abl_mc_count", |b| {
-        b.iter(|| black_box(abl_mc_count(bench_scale())))
-    });
-}
-
-criterion_group! {
-    name = ablations;
-    config = Criterion::default().sample_size(10);
-    targets = rt_size, pb_size, nvm_bw, mc_count
-}
-criterion_main!(ablations);

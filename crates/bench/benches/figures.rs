@@ -1,16 +1,15 @@
-//! Criterion benches regenerating every figure of the paper's evaluation
-//! at a reduced (bench-friendly) scale. Each bench body *is* the full
+//! Benches regenerating every figure of the paper's evaluation at a
+//! reduced (bench-friendly) scale. Each bench body *is* the full
 //! experiment for that figure; the printed tables for EXPERIMENTS.md come
 //! from the `asap-harness` binaries at `--full` scale.
 
+use asap_bench::Bench;
 use asap_harness::experiments::{
     fig02_epochs, fig03_pb_stalls, fig08_performance, fig09_writes, fig10_scaling,
     fig11_pb_occupancy, fig12_rt_occupancy, fig13_bandwidth, ExperimentScale,
 };
 use asap_harness::hwcost;
 use asap_sim_core::Cycle;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
 fn bench_scale() -> ExperimentScale {
     ExperimentScale {
@@ -20,72 +19,17 @@ fn bench_scale() -> ExperimentScale {
     }
 }
 
-fn fig02(c: &mut Criterion) {
-    c.bench_function("fig02_epochs", |b| {
-        b.iter(|| black_box(fig02_epochs(bench_scale())))
+fn main() {
+    let b = Bench::new().sample_size(10);
+    b.run("fig02_epochs", || fig02_epochs(bench_scale()));
+    b.run("fig03_pb_stalls", || fig03_pb_stalls(bench_scale()));
+    b.run("fig08_performance", || fig08_performance(bench_scale()));
+    b.run("fig09_writes", || fig09_writes(bench_scale()));
+    b.run("fig10_scaling", || fig10_scaling(bench_scale()));
+    b.run("fig11_pb_occupancy", || fig11_pb_occupancy(bench_scale()));
+    b.run("fig12_rt_occupancy", || fig12_rt_occupancy(bench_scale()));
+    b.run("fig13_bandwidth", || fig13_bandwidth(bench_scale()));
+    b.run("tab05_hwcost", || {
+        (hwcost::table5(), hwcost::drain_comparison(32))
     });
 }
-
-fn fig03(c: &mut Criterion) {
-    c.bench_function("fig03_pb_stalls", |b| {
-        b.iter(|| black_box(fig03_pb_stalls(bench_scale())))
-    });
-}
-
-fn fig08(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig08");
-    g.sample_size(10);
-    g.bench_function("fig08_performance", |b| {
-        b.iter(|| black_box(fig08_performance(bench_scale())))
-    });
-    g.finish();
-}
-
-fn fig09(c: &mut Criterion) {
-    c.bench_function("fig09_writes", |b| {
-        b.iter(|| black_box(fig09_writes(bench_scale())))
-    });
-}
-
-fn fig10(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10");
-    g.sample_size(10);
-    g.bench_function("fig10_scaling", |b| {
-        b.iter(|| black_box(fig10_scaling(bench_scale())))
-    });
-    g.finish();
-}
-
-fn fig11(c: &mut Criterion) {
-    c.bench_function("fig11_pb_occupancy", |b| {
-        b.iter(|| black_box(fig11_pb_occupancy(bench_scale())))
-    });
-}
-
-fn fig12(c: &mut Criterion) {
-    c.bench_function("fig12_rt_occupancy", |b| {
-        b.iter(|| black_box(fig12_rt_occupancy(bench_scale())))
-    });
-}
-
-fn fig13(c: &mut Criterion) {
-    c.bench_function("fig13_bandwidth", |b| {
-        b.iter(|| black_box(fig13_bandwidth(bench_scale())))
-    });
-}
-
-fn tab05(c: &mut Criterion) {
-    c.bench_function("tab05_hwcost", |b| {
-        b.iter(|| {
-            black_box(hwcost::table5());
-            black_box(hwcost::drain_comparison(32))
-        })
-    });
-}
-
-criterion_group! {
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets = fig02, fig03, fig08, fig09, fig10, fig11, fig12, fig13, tab05
-}
-criterion_main!(figures);

@@ -3,11 +3,11 @@
 //! the structural recovery walks cost. These bound the overhead of
 //! running every crash-storm test in CI.
 
+use asap_bench::Bench;
+use asap_core::SimBuilder;
 use asap_harness::{run_once, RunSpec};
-use asap_sim_core::{Flavor, ModelKind, SimConfig};
-use asap_workloads::WorkloadKind;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use asap_sim_core::{Cycle, Flavor, ModelKind, SimConfig};
+use asap_workloads::{make_workload, recovery, WorkloadKind, WorkloadParams};
 
 fn crash_spec(w: WorkloadKind) -> RunSpec {
     RunSpec {
@@ -20,37 +20,23 @@ fn crash_spec(w: WorkloadKind) -> RunSpec {
     }
 }
 
-fn crash_and_oracle(c: &mut Criterion) {
-    use asap_core::SimBuilder;
-    use asap_sim_core::Cycle;
-    use asap_workloads::{make_workload, WorkloadParams};
+fn main() {
+    let b = Bench::new().sample_size(10);
 
-    c.bench_function("crash_oracle_cceh", |b| {
-        b.iter(|| {
-            let params = WorkloadParams {
-                threads: 4,
-                ops_per_thread: 30,
-                seed: 42,
-                ..Default::default()
-            };
-            let programs = make_workload(WorkloadKind::Cceh, &params);
-            let mut sim = SimBuilder::new(
-                SimConfig::paper(),
-                ModelKind::Asap,
-                Flavor::Release,
-            )
+    b.run("crash_oracle_cceh", || {
+        let params = WorkloadParams {
+            threads: 4,
+            ops_per_thread: 30,
+            seed: 42,
+            ..Default::default()
+        };
+        let programs = make_workload(WorkloadKind::Cceh, &params);
+        let mut sim = SimBuilder::new(SimConfig::paper(), ModelKind::Asap, Flavor::Release)
             .programs(programs)
             .with_journal()
             .build();
-            black_box(sim.crash_at(Cycle(30_000)))
-        })
+        sim.crash_at(Cycle(30_000))
     });
-}
-
-fn structural_verifiers(c: &mut Criterion) {
-    use asap_core::SimBuilder;
-    use asap_sim_core::Cycle;
-    use asap_workloads::{make_workload, recovery, WorkloadParams};
 
     // Build one recovered image, bench only the walk.
     let params = WorkloadParams {
@@ -65,49 +51,27 @@ fn structural_verifiers(c: &mut Criterion) {
         .with_journal()
         .build();
     let _ = sim.crash_at(Cycle(60_000));
-    c.bench_function("verify_exthash_walk", |b| {
-        b.iter(|| black_box(recovery::verify_exthash(sim.nvm())))
+    b.run("verify_exthash_walk", || {
+        recovery::verify_exthash(sim.nvm())
     });
-}
 
-fn journaling_overhead(c: &mut Criterion) {
-    let mut g = c.benchmark_group("journaling");
-    g.sample_size(10);
-    g.bench_function("run_with_journal", |b| {
-        b.iter(|| {
-            use asap_core::SimBuilder;
-            use asap_workloads::{make_workload, WorkloadParams};
-            let params = WorkloadParams {
-                threads: 2,
-                ops_per_thread: 30,
-                seed: 42,
-                ..Default::default()
-            };
-            let mut sim = SimBuilder::new(
-                SimConfig::paper(),
-                ModelKind::Asap,
-                Flavor::Release,
-            )
+    b.run("journaling/run_with_journal", || {
+        let params = WorkloadParams {
+            threads: 2,
+            ops_per_thread: 30,
+            seed: 42,
+            ..Default::default()
+        };
+        let mut sim = SimBuilder::new(SimConfig::paper(), ModelKind::Asap, Flavor::Release)
             .programs(make_workload(WorkloadKind::PClht, &params))
             .with_journal()
             .build();
-            black_box(sim.run_to_completion())
-        })
+        sim.run_to_completion()
     });
-    g.bench_function("run_without_journal", |b| {
-        b.iter(|| {
-            let mut s = crash_spec(WorkloadKind::PClht);
-            s.config.num_cores = 2;
-            s.ops_per_thread = 30;
-            black_box(run_once(&s))
-        })
+    b.run("journaling/run_without_journal", || {
+        let mut s = crash_spec(WorkloadKind::PClht);
+        s.config.num_cores = 2;
+        s.ops_per_thread = 30;
+        run_once(&s)
     });
-    g.finish();
 }
-
-criterion_group! {
-    name = recovery_benches;
-    config = Criterion::default().sample_size(10);
-    targets = crash_and_oracle, structural_verifiers, journaling_overhead
-}
-criterion_main!(recovery_benches);

@@ -2,11 +2,10 @@
 //! each persistency model (simulated cycles per wall-clock second matters
 //! for the `--full` experiment runs).
 
+use asap_bench::Bench;
 use asap_harness::{run_once, RunSpec};
 use asap_sim_core::{Flavor, ModelKind, SimConfig};
 use asap_workloads::WorkloadKind;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 
 fn spec(model: ModelKind, workload: WorkloadKind) -> RunSpec {
     RunSpec {
@@ -19,41 +18,26 @@ fn spec(model: ModelKind, workload: WorkloadKind) -> RunSpec {
     }
 }
 
-fn models(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_cceh");
-    g.sample_size(10);
+fn main() {
+    let b = Bench::new().sample_size(10);
     for model in [
         ModelKind::Baseline,
         ModelKind::Hops,
         ModelKind::Asap,
         ModelKind::Eadr,
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(model), &model, |b, &m| {
-            b.iter(|| black_box(run_once(&spec(m, WorkloadKind::Cceh))))
+        b.run(&format!("simulate_cceh/{model}"), || {
+            run_once(&spec(model, WorkloadKind::Cceh))
         });
     }
-    g.finish();
-}
-
-fn workloads(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_asap");
-    g.sample_size(10);
     for w in [
         WorkloadKind::Nstore,
         WorkloadKind::Queue,
         WorkloadKind::FastFair,
         WorkloadKind::PArt,
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
-            b.iter(|| black_box(run_once(&spec(ModelKind::Asap, w))))
+        b.run(&format!("simulate_asap/{w}"), || {
+            run_once(&spec(ModelKind::Asap, w))
         });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = simulator;
-    config = Criterion::default().sample_size(10);
-    targets = models, workloads
-}
-criterion_main!(simulator);

@@ -40,7 +40,10 @@ impl CountingBloom {
     ///
     /// Panics if `slots` is not a power of two or `hashes == 0`.
     pub fn new(slots: usize, hashes: u32) -> CountingBloom {
-        assert!(slots.is_power_of_two() && slots > 0, "slots must be a power of two");
+        assert!(
+            slots.is_power_of_two() && slots > 0,
+            "slots must be a power of two"
+        );
         assert!(hashes > 0, "need at least one hash");
         CountingBloom {
             counters: vec![0; slots],

@@ -174,8 +174,13 @@ impl CoherenceHub {
             if !write || have_ownership {
                 if write {
                     // Write hit in M/E: mark dirty.
-                    self.dir
-                        .insert(line, DirState::Owned { owner: t, dirty: true });
+                    self.dir.insert(
+                        line,
+                        DirState::Owned {
+                            owner: t,
+                            dirty: true,
+                        },
+                    );
                 }
                 let (lat, level) = if private_hit_l1 {
                     self.stats.l1_hits += 1;
@@ -219,8 +224,13 @@ impl CoherenceHub {
                     self.l2[owner.0].invalidate(line);
                     self.stats.invalidations += 1;
                     invalidated.push(owner);
-                    self.dir
-                        .insert(line, DirState::Owned { owner: t, dirty: true });
+                    self.dir.insert(
+                        line,
+                        DirState::Owned {
+                            owner: t,
+                            dirty: true,
+                        },
+                    );
                 } else {
                     // Downgrade remote M/E to S; both become sharers.
                     self.dir.insert(line, DirState::Shared(vec![owner, t]));
@@ -249,8 +259,13 @@ impl CoherenceHub {
                         self.stats.invalidations += 1;
                         invalidated.push(*s);
                     }
-                    self.dir
-                        .insert(line, DirState::Owned { owner: t, dirty: true });
+                    self.dir.insert(
+                        line,
+                        DirState::Owned {
+                            owner: t,
+                            dirty: true,
+                        },
+                    );
                 } else {
                     if !sharers.contains(&t) {
                         sharers.push(t);
@@ -271,9 +286,15 @@ impl CoherenceHub {
                 self.dir.insert(
                     line,
                     if write {
-                        DirState::Owned { owner: t, dirty: true }
+                        DirState::Owned {
+                            owner: t,
+                            dirty: true,
+                        }
                     } else {
-                        DirState::Owned { owner: t, dirty: false }
+                        DirState::Owned {
+                            owner: t,
+                            dirty: false,
+                        }
                     },
                 );
                 if llc_has {
@@ -329,8 +350,7 @@ impl CoherenceHub {
             self.dir.remove(&victim);
             Some(victim)
         } else {
-            if matches!(self.dir.get(&victim), Some(DirState::Owned { owner, .. }) if *owner == t)
-            {
+            if matches!(self.dir.get(&victim), Some(DirState::Owned { owner, .. }) if *owner == t) {
                 self.dir.remove(&victim);
             }
             None
@@ -339,7 +359,10 @@ impl CoherenceHub {
 
     /// Whether any core currently holds `line` dirty (diagnostics).
     pub fn is_dirty_anywhere(&self, line: LineAddr) -> bool {
-        matches!(self.dir.get(&line), Some(DirState::Owned { dirty: true, .. }))
+        matches!(
+            self.dir.get(&line),
+            Some(DirState::Owned { dirty: true, .. })
+        )
     }
 }
 

@@ -31,7 +31,10 @@ impl SetAssoc {
     ///
     /// Panics if `num_sets` is not a power of two or either argument is 0.
     pub fn new(num_sets: usize, ways: usize) -> SetAssoc {
-        assert!(num_sets.is_power_of_two() && num_sets > 0, "sets must be a power of two");
+        assert!(
+            num_sets.is_power_of_two() && num_sets > 0,
+            "sets must be a power of two"
+        );
         assert!(ways > 0, "ways must be nonzero");
         SetAssoc {
             sets: vec![Vec::with_capacity(ways); num_sets],

@@ -2,11 +2,24 @@ use asap_core::{Flavor, ModelKind, SimBuilder};
 use asap_sim_core::{Cycle, SimConfig};
 use asap_workloads::{make_workload, WorkloadKind, WorkloadParams};
 fn main() {
-    let params = WorkloadParams { threads: 3, ops_per_thread: 70, seed: 3, key_space: 128, ..Default::default() };
+    let params = WorkloadParams {
+        threads: 3,
+        ops_per_thread: 70,
+        seed: 3,
+        key_space: 128,
+        ..Default::default()
+    };
     let programs = make_workload(WorkloadKind::Cceh, &params);
     let mut cfg = SimConfig::paper();
     cfg.num_cores = 3;
-    let mut sim = SimBuilder::new(cfg, ModelKind::Asap, Flavor::Release).programs(programs).with_journal().build();
+    let mut sim = SimBuilder::new(cfg, ModelKind::Asap, Flavor::Release)
+        .programs(programs)
+        .with_journal()
+        .build();
     let report = sim.crash_at(Cycle(15_000));
-    println!("consistent={} v={:?}", report.is_consistent(), report.violations.iter().take(1).collect::<Vec<_>>());
+    println!(
+        "consistent={} v={:?}",
+        report.is_consistent(),
+        report.violations.iter().take(1).collect::<Vec<_>>()
+    );
 }

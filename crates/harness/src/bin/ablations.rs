@@ -1,5 +1,5 @@
 //! Runs the DESIGN.md ablations: RT size, PB size, NVM latency, MC count.
-use asap_harness::experiments::{ablations};
+use asap_harness::experiments::ablations;
 
 fn main() {
     let scale = asap_harness::cli_scale();

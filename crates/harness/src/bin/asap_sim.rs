@@ -41,20 +41,21 @@ fn main() {
     let workload: WorkloadKind = arg(&args, "--workload")
         .map(|s| s.parse().expect("unknown workload"))
         .unwrap_or(WorkloadKind::Cceh);
-    let model = match arg(&args, "--model").as_deref() {
-        Some("baseline") => ModelKind::Baseline,
-        Some("hops") => ModelKind::Hops,
-        Some("eadr") => ModelKind::Eadr,
-        Some("bbb") => ModelKind::Bbb,
-        _ => ModelKind::Asap,
-    };
-    let flavor = match arg(&args, "--flavor").as_deref() {
-        Some("ep" | "EP") => Flavor::Epoch,
-        _ => Flavor::Release,
-    };
-    let threads: usize = arg(&args, "--threads").and_then(|s| s.parse().ok()).unwrap_or(4);
-    let ops: u64 = arg(&args, "--ops").and_then(|s| s.parse().ok()).unwrap_or(200);
-    let seed: u64 = arg(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let model: ModelKind = arg(&args, "--model")
+        .map(|s| s.parse().expect("unknown model"))
+        .unwrap_or(ModelKind::Asap);
+    let flavor: Flavor = arg(&args, "--flavor")
+        .map(|s| s.parse().expect("unknown flavor"))
+        .unwrap_or(Flavor::Release);
+    let threads: usize = arg(&args, "--threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let ops: u64 = arg(&args, "--ops")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let seed: u64 = arg(&args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
     let crash_at: Option<u64> = arg(&args, "--crash-at").and_then(|s| s.parse().ok());
     let verify = args.iter().any(|a| a == "--verify");
 
@@ -66,7 +67,10 @@ fn main() {
         zipf_theta: zipf,
         ..Default::default()
     };
-    let cfg = SimConfig::builder().cores(threads).build().expect("valid config");
+    let cfg = SimConfig::builder()
+        .cores(threads)
+        .build()
+        .expect("valid config");
     let mut sim = SimBuilder::new(cfg, model, flavor)
         .programs(make_workload(workload, &params))
         .with_journal()
@@ -97,7 +101,11 @@ fn main() {
                         "recovery walk        : {} live, {} torn, {}",
                         r.live_entries,
                         r.torn_entries,
-                        if r.is_recoverable() { "RECOVERABLE" } else { "BROKEN" }
+                        if r.is_recoverable() {
+                            "RECOVERABLE"
+                        } else {
+                            "BROKEN"
+                        }
                     );
                     for v in &r.violations {
                         println!("  - {v}");
@@ -111,7 +119,11 @@ fn main() {
         }
     } else {
         let out = sim.run_to_completion();
-        println!("--- run complete: {} cycles, {} ops ---", out.cycles.raw(), sim.stats().ops_completed);
+        println!(
+            "--- run complete: {} cycles, {} ops ---",
+            out.cycles.raw(),
+            sim.stats().ops_completed
+        );
         print!("{}", sim.stats().snapshot().to_stats_txt());
         println!("rtMaxOccupancy           {}", sim.rt_max_occupancy());
         println!("mediaUtilization         {:.3}", sim.media_utilization());

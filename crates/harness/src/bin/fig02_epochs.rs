@@ -1,5 +1,5 @@
 //! Regenerates Figure 2: epochs and cross-thread dependencies per window.
-use asap_harness::experiments::{fig02_epochs};
+use asap_harness::experiments::fig02_epochs;
 
 fn main() {
     let scale = asap_harness::cli_scale();

@@ -1,5 +1,5 @@
 //! Regenerates Figure 3: % cycles persist buffers blocked under HOPS.
-use asap_harness::experiments::{fig03_pb_stalls};
+use asap_harness::experiments::fig03_pb_stalls;
 
 fn main() {
     let scale = asap_harness::cli_scale();

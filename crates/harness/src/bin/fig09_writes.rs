@@ -1,5 +1,5 @@
 //! Regenerates Figure 9: PM writes, ASAP normalized to HOPS.
-use asap_harness::experiments::{fig09_writes};
+use asap_harness::experiments::fig09_writes;
 
 fn main() {
     let scale = asap_harness::cli_scale();

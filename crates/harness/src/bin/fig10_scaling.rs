@@ -1,5 +1,5 @@
 //! Regenerates Figure 10: core-count scaling, HOPS vs ASAP.
-use asap_harness::experiments::{fig10_scaling};
+use asap_harness::experiments::fig10_scaling;
 
 fn main() {
     let scale = asap_harness::cli_scale();

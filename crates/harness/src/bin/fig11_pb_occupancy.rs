@@ -1,5 +1,5 @@
 //! Regenerates Figure 11: persist-buffer occupancy avg/p99.
-use asap_harness::experiments::{fig11_pb_occupancy};
+use asap_harness::experiments::fig11_pb_occupancy;
 
 fn main() {
     let scale = asap_harness::cli_scale();

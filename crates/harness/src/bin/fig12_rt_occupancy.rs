@@ -1,5 +1,5 @@
 //! Regenerates Figure 12: recovery-table max occupancy, 4 vs 8 threads.
-use asap_harness::experiments::{fig12_rt_occupancy};
+use asap_harness::experiments::fig12_rt_occupancy;
 
 fn main() {
     let scale = asap_harness::cli_scale();

@@ -1,5 +1,5 @@
 //! Regenerates Figure 13: write-bandwidth utilization microbenchmark.
-use asap_harness::experiments::{fig13_bandwidth};
+use asap_harness::experiments::fig13_bandwidth;
 
 fn main() {
     let scale = asap_harness::cli_scale();

@@ -10,15 +10,13 @@ fn main() {
         .get(1)
         .map(|s| s.parse().expect("workload name"))
         .unwrap_or(WorkloadKind::Cceh);
-    let model = match args.get(2).map(String::as_str) {
-        Some("baseline") => ModelKind::Baseline,
-        Some("hops") => ModelKind::Hops,
-        Some("eadr") => ModelKind::Eadr,
-        _ => ModelKind::Asap,
-    };
-    let flavor = match args.get(3).map(String::as_str) {
-        Some("ep" | "EP") => Flavor::Epoch,
-        _ => Flavor::Release,
-    };
+    let model: ModelKind = args
+        .get(2)
+        .map(|s| s.parse().expect("model name"))
+        .unwrap_or(ModelKind::Asap);
+    let flavor: Flavor = args
+        .get(3)
+        .map(|s| s.parse().expect("flavor name"))
+        .unwrap_or(Flavor::Release);
     print!("{}", stats_txt(model, flavor, w, ExperimentScale::quick()));
 }

@@ -75,7 +75,13 @@ pub fn figure_workloads() -> Vec<WorkloadKind> {
 pub fn fig02_epochs(scale: ExperimentScale) -> Table {
     let mut t = Table::new(
         "Figure 2: epochs and cross-thread dependencies per window (4 threads)",
-        &["workload", "epochs_rp", "cross_deps_rp", "epochs_ep", "cross_deps_ep"],
+        &[
+            "workload",
+            "epochs_rp",
+            "cross_deps_rp",
+            "epochs_ep",
+            "cross_deps_ep",
+        ],
     );
     for w in figure_workloads() {
         // Measured under HOPS, like the paper's methodology (§III runs
@@ -142,7 +148,9 @@ const FIG8_MODELS: [(&str, ModelKind, Flavor); 6] = [
 pub fn fig08_performance(scale: ExperimentScale) -> Table {
     let mut t = Table::new(
         "Figure 8: speedup over baseline (4 cores, 2 MCs)",
-        &["workload", "baseline", "hops_ep", "hops_rp", "asap_ep", "asap_rp", "eadr"],
+        &[
+            "workload", "baseline", "hops_ep", "hops_rp", "asap_ep", "asap_rp", "eadr",
+        ],
     );
     let mut sums = [0.0f64; 6];
     let mut n = 0;
@@ -177,8 +185,14 @@ pub fn fig08_performance(scale: ExperimentScale) -> Table {
 pub fn fig08_summary(fig8: &Table) -> Table {
     let avg = |col: &str| fig8.cell_f64("average", col).unwrap_or(0.0);
     let mut t = Table::new("§VII-A headline numbers", &["metric", "value"]);
-    t.push_row(vec!["ASAP_EP speedup over baseline".into(), f2(avg("asap_ep"))]);
-    t.push_row(vec!["ASAP_RP speedup over baseline".into(), f2(avg("asap_rp"))]);
+    t.push_row(vec![
+        "ASAP_EP speedup over baseline".into(),
+        f2(avg("asap_ep")),
+    ]);
+    t.push_row(vec![
+        "ASAP_RP speedup over baseline".into(),
+        f2(avg("asap_rp")),
+    ]);
     t.push_row(vec![
         "ASAP_EP improvement over HOPS_EP (%)".into(),
         f2(100.0 * (avg("asap_ep") / avg("hops_ep") - 1.0)),
@@ -206,7 +220,13 @@ pub fn fig08_summary(fig8: &Table) -> Table {
 pub fn fig09_writes(scale: ExperimentScale) -> Table {
     let mut t = Table::new(
         "Figure 9: PM write operations, ASAP vs HOPS (release persistency)",
-        &["workload", "hops_writes", "asap_writes", "normalized", "undo_reads_per_100_writes"],
+        &[
+            "workload",
+            "hops_writes",
+            "asap_writes",
+            "normalized",
+            "undo_reads_per_100_writes",
+        ],
     );
     let mut norm_sum = 0.0;
     let mut read_sum = 0.0;
@@ -251,7 +271,15 @@ pub fn fig09_writes(scale: ExperimentScale) -> Table {
 pub fn fig10_scaling(scale: ExperimentScale) -> Table {
     let mut t = Table::new(
         "Figure 10: speedup over 1-thread HOPS (release persistency, 2 MCs)",
-        &["threads", "hops_avg", "asap_avg", "hops_p-art", "asap_p-art", "hops_skiplist", "asap_skiplist"],
+        &[
+            "threads",
+            "hops_avg",
+            "asap_avg",
+            "hops_p-art",
+            "asap_p-art",
+            "hops_skiplist",
+            "asap_skiplist",
+        ],
     );
     let workloads = figure_workloads();
     let tput = |model, w, threads: usize| -> f64 {
@@ -444,7 +472,12 @@ pub fn abl_pb_size(scale: ExperimentScale) -> Table {
 pub fn abl_nvm_bw(scale: ExperimentScale) -> Table {
     let mut t = Table::new(
         "Ablation: NVM write latency (ASAP vs HOPS, 1-thread bandwidth probe)",
-        &["nvm_write_ns", "hops_cycles", "asap_cycles", "asap_over_hops"],
+        &[
+            "nvm_write_ns",
+            "hops_cycles",
+            "asap_cycles",
+            "asap_over_hops",
+        ],
     );
     for ns in [45u64, 90, 180, 360] {
         let mk = |m| {
@@ -481,7 +514,11 @@ pub fn abl_mc_count(scale: ExperimentScale) -> Table {
             // One thread isolates the cross-MC ordering cost (§III); with
             // more threads every design saturates the media.
             let mut s = spec(m, Flavor::Release, WorkloadKind::Bandwidth, scale);
-            s.config = SimConfig::builder().cores(1).mcs(mcs).build().expect("valid");
+            s.config = SimConfig::builder()
+                .cores(1)
+                .mcs(mcs)
+                .build()
+                .expect("valid");
             s.ops_per_thread = scale.ops * 4;
             run_once(&s).cycles
         };
@@ -508,7 +545,12 @@ pub fn ablations(scale: ExperimentScale) -> Vec<Table> {
 }
 
 /// Convenience: the Table VI stat listing for one run (gem5-style).
-pub fn stats_txt(model: ModelKind, flavor: Flavor, w: WorkloadKind, scale: ExperimentScale) -> String {
+pub fn stats_txt(
+    model: ModelKind,
+    flavor: Flavor,
+    w: WorkloadKind,
+    scale: ExperimentScale,
+) -> String {
     let out: RunOutcome = run_once(&spec(model, flavor, w, scale));
     out.stats.snapshot().to_stats_txt()
 }
@@ -530,7 +572,10 @@ mod tests {
         let t = fig13_bandwidth(tiny());
         let hops = t.cell_f64("hops", "utilization_pct").unwrap();
         let asap = t.cell_f64("asap", "utilization_pct").unwrap();
-        assert!(asap > hops, "ASAP must out-utilize HOPS (asap={asap}, hops={hops})");
+        assert!(
+            asap > hops,
+            "ASAP must out-utilize HOPS (asap={asap}, hops={hops})"
+        );
         let bc: f64 = t.cell_f64("baseline", "cycles").unwrap();
         let ac: f64 = t.cell_f64("asap", "cycles").unwrap();
         assert!(ac < bc);
@@ -579,14 +624,19 @@ mod tests {
         let one = t.cell_f64("1", "asap_over_hops").unwrap();
         let two = t.cell_f64("2", "asap_over_hops").unwrap();
         // The multi-MC motivation: ASAP's edge grows with MC count.
-        assert!(two >= one * 0.95, "2-MC advantage ({two}) should not collapse vs 1-MC ({one})");
+        assert!(
+            two >= one * 0.95,
+            "2-MC advantage ({two}) should not collapse vs 1-MC ({one})"
+        );
     }
 
     #[test]
     fn summary_derives_from_fig8() {
         let mut t = Table::new(
             "Figure 8: speedup over baseline (4 cores, 2 MCs)",
-            &["workload", "baseline", "hops_ep", "hops_rp", "asap_ep", "asap_rp", "eadr"],
+            &[
+                "workload", "baseline", "hops_ep", "hops_rp", "asap_ep", "asap_rp", "eadr",
+            ],
         );
         t.push_row(vec![
             "average".into(),
@@ -598,7 +648,10 @@ mod tests {
             "2.38".into(),
         ]);
         let s = fig08_summary(&t);
-        assert_eq!(s.cell("ASAP_RP speedup over baseline", "value"), Some("2.29"));
+        assert_eq!(
+            s.cell("ASAP_RP speedup over baseline", "value"),
+            Some("2.29")
+        );
         let gap: f64 = s.cell_f64("ASAP_RP gap to eADR (%)", "value").unwrap();
         assert!((gap - 3.93).abs() < 0.1);
     }

@@ -68,14 +68,34 @@ pub fn estimate(geom: BufferGeometry) -> CostEstimate {
 pub fn asap_buffers() -> [BufferGeometry; 4] {
     [
         // PB entry: 64B data + address (~46b) + timestamp (32b) + state.
-        BufferGeometry { name: "Persist Buffer", entries: 32, bits_per_entry: 512 + 86, cam: true },
+        BufferGeometry {
+            name: "Persist Buffer",
+            entries: 32,
+            bits_per_entry: 512 + 86,
+            cam: true,
+        },
         // ET entry: timestamp, pending-write counter, dep thread+ts —
         // no address or data fields (Fig. 6b), hence tiny.
-        BufferGeometry { name: "Epoch Table", entries: 32, bits_per_entry: 40, cam: true },
+        BufferGeometry {
+            name: "Epoch Table",
+            entries: 32,
+            bits_per_entry: 40,
+            cam: true,
+        },
         // RT entry: 64B data + address + threadID + timestamp.
-        BufferGeometry { name: "Recovery Table", entries: 32, bits_per_entry: 512 + 96, cam: true },
+        BufferGeometry {
+            name: "Recovery Table",
+            entries: 32,
+            bits_per_entry: 512 + 96,
+            cam: true,
+        },
         // Reference row.
-        BufferGeometry { name: "32KB L1 cache", entries: 512, bits_per_entry: 512, cam: false },
+        BufferGeometry {
+            name: "32KB L1 cache",
+            entries: 512,
+            bits_per_entry: 512,
+            cam: false,
+        },
     ]
 }
 
@@ -119,7 +139,11 @@ pub fn drain_comparison(cores: usize) -> Table {
         "medium".into(),
     ]);
     // ASAP: recovery tables only — 32 entries x ~76B per MC, 2 MCs.
-    t.push_row(vec!["ASAP".into(), format!("{}", 2 * 32 * 76), "none".into()]);
+    t.push_row(vec![
+        "ASAP".into(),
+        format!("{}", 2 * 32 * 76),
+        "none".into(),
+    ]);
     t
 }
 

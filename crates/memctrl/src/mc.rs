@@ -149,9 +149,9 @@ impl MemController {
             if undo_present || self.rt.has_delay(pkt.line, pkt.epoch) {
                 // Early + undo present (delay record / NACK when full),
                 // or coalescing into this epoch's existing delay record.
-                let action =
-                    self.rt
-                        .handle_flush(pkt.line, pkt.data, pkt.seq, pkt.epoch, true, nvm);
+                let action = self
+                    .rt
+                    .handle_flush(pkt.line, pkt.data, pkt.seq, pkt.epoch, true, nvm);
                 return self.finish_rt_action(now, action, stats);
             }
             // Early + no undo: needs an RT slot *and* a WPQ slot.
@@ -188,14 +188,13 @@ impl MemController {
                 action,
             }
         } else {
-            let foreign_undo =
-                undo_present && self.rt.undo_creator(pkt.line) != Some(pkt.epoch);
+            let foreign_undo = undo_present && self.rt.undo_creator(pkt.line) != Some(pkt.epoch);
             if foreign_undo {
                 // Safe + undo created by a *different* epoch: the value is
                 // absorbed into the undo record; no media write.
-                let action =
-                    self.rt
-                        .handle_flush(pkt.line, pkt.data, pkt.seq, pkt.epoch, false, nvm);
+                let action = self
+                    .rt
+                    .handle_flush(pkt.line, pkt.data, pkt.seq, pkt.epoch, false, nvm);
                 debug_assert_eq!(action, FlushAction::UndoUpdated);
                 stats.mc_suppressed_writes += 1;
                 return FlushOutcome::Accepted {
@@ -320,7 +319,13 @@ mod tests {
         let (mut mc, mut nvm, mut stats) = mc();
         let p = pkt(1, 5, 0, 0, 0, false);
         let out = mc.receive_flush(Cycle(0), &p, &mut nvm, &mut stats);
-        assert!(matches!(out, FlushOutcome::Accepted { action: FlushAction::Persisted, .. }));
+        assert!(matches!(
+            out,
+            FlushOutcome::Accepted {
+                action: FlushAction::Persisted,
+                ..
+            }
+        ));
         assert_eq!(stats.nvm_writes, 1);
         assert_eq!(stats.tot_spec_writes, 0);
         assert_eq!(nvm.line(p.line).data[0], 5);
@@ -333,7 +338,10 @@ mod tests {
         let out = mc.receive_flush(Cycle(0), &p, &mut nvm, &mut stats);
         assert!(matches!(
             out,
-            FlushOutcome::Accepted { action: FlushAction::SpeculativelyPersisted, .. }
+            FlushOutcome::Accepted {
+                action: FlushAction::SpeculativelyPersisted,
+                ..
+            }
         ));
         assert_eq!(stats.total_undo, 1);
         assert_eq!(stats.tot_spec_writes, 1);
@@ -346,12 +354,28 @@ mod tests {
         let (mut mc, mut nvm, mut stats) = mc();
         mc.receive_flush(Cycle(0), &pkt(3, 3, 10, 3, 1, true), &mut nvm, &mut stats);
         let out = mc.receive_flush(Cycle(5), &pkt(3, 2, 5, 2, 1, true), &mut nvm, &mut stats);
-        assert!(matches!(out, FlushOutcome::Accepted { action: FlushAction::Delayed, .. }));
+        assert!(matches!(
+            out,
+            FlushOutcome::Accepted {
+                action: FlushAction::Delayed,
+                ..
+            }
+        ));
         assert_eq!(stats.total_delay, 1);
         // Commit the older epoch: delay folds into the undo record.
-        mc.commit_epoch(Cycle(10), EpochId::new(ThreadId(2), 1), &mut nvm, &mut stats);
+        mc.commit_epoch(
+            Cycle(10),
+            EpochId::new(ThreadId(2), 1),
+            &mut nvm,
+            &mut stats,
+        );
         // Commit the newer epoch: undo gone, memory keeps value 3.
-        mc.commit_epoch(Cycle(20), EpochId::new(ThreadId(3), 1), &mut nvm, &mut stats);
+        mc.commit_epoch(
+            Cycle(20),
+            EpochId::new(ThreadId(3), 1),
+            &mut nvm,
+            &mut stats,
+        );
         assert_eq!(mc.rt().occupancy(), 0);
         assert_eq!(nvm.line(LineAddr::containing(3 * 64)).data[0], 3);
     }
@@ -391,7 +415,13 @@ mod tests {
         mc.receive_flush(Cycle(0), &pkt(8, 9, 10, 1, 2, true), &mut nvm, &mut stats);
         let before = stats.nvm_writes;
         let out = mc.receive_flush(Cycle(1), &pkt(8, 4, 5, 0, 1, false), &mut nvm, &mut stats);
-        assert!(matches!(out, FlushOutcome::Accepted { action: FlushAction::UndoUpdated, .. }));
+        assert!(matches!(
+            out,
+            FlushOutcome::Accepted {
+                action: FlushAction::UndoUpdated,
+                ..
+            }
+        ));
         assert_eq!(stats.nvm_writes, before);
         assert_eq!(stats.mc_suppressed_writes, 1);
         // Memory still has the newer speculative value.

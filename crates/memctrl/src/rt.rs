@@ -150,7 +150,9 @@ impl RecoveryTable {
 
     /// Whether a delay record exists for `(line, epoch)`.
     pub fn has_delay(&self, line: LineAddr, epoch: EpochId) -> bool {
-        self.delay.iter().any(|(l, _, _, e)| *l == line && *e == epoch)
+        self.delay
+            .iter()
+            .any(|(l, _, _, e)| *l == line && *e == epoch)
     }
 
     /// Number of delay records for `line` (any epoch).

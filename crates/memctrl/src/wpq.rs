@@ -159,10 +159,7 @@ impl Wpq {
 
     /// Earliest time an entry will free up (valid when full).
     pub fn next_free_at(&self) -> Cycle {
-        self.entries
-            .front()
-            .map(|e| e.done)
-            .unwrap_or(Cycle::ZERO)
+        self.entries.front().map(|e| e.done).unwrap_or(Cycle::ZERO)
     }
 
     /// Total media line writes issued.
@@ -233,7 +230,7 @@ mod tests {
         let mut w = Wpq::new(16, W);
         w.push(Cycle(0), la(0)).unwrap(); // starts immediately
         let d1 = w.push(Cycle(0), la(1)).unwrap(); // starts at 180
-        // Same line as the queued-but-not-started entry: coalesce.
+                                                   // Same line as the queued-but-not-started entry: coalesce.
         let d2 = w.push(Cycle(0), la(1)).unwrap();
         assert_eq!(d1, d2);
         assert_eq!(w.coalesced(), 1);

@@ -155,9 +155,7 @@ impl WriteJournal {
 
     /// Entries belonging to the given (assigned) epoch.
     pub fn entries_of_epoch(&self, epoch: EpochId) -> impl Iterator<Item = &JournalEntry> {
-        self.entries
-            .iter()
-            .filter(move |e| e.epoch == Some(epoch))
+        self.entries.iter().filter(move |e| e.epoch == Some(epoch))
     }
 
     /// Total writes recorded (including while disabled).

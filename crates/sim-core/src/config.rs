@@ -3,6 +3,7 @@
 use crate::time::Cycle;
 use std::error::Error;
 use std::fmt;
+use std::str::FromStr;
 
 /// Which persistency-hardware design a simulation models.
 ///
@@ -30,16 +31,47 @@ pub enum ModelKind {
     Bbb,
 }
 
-impl fmt::Display for ModelKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl ModelKind {
+    /// All designs, in the order the paper's figures plot them.
+    pub fn all() -> [ModelKind; 5] {
+        [
+            ModelKind::Baseline,
+            ModelKind::Hops,
+            ModelKind::Asap,
+            ModelKind::Eadr,
+            ModelKind::Bbb,
+        ]
+    }
+
+    /// Figure legend label; also the canonical [`FromStr`] spelling.
+    pub fn label(self) -> &'static str {
+        match self {
             ModelKind::Baseline => "baseline",
             ModelKind::Hops => "hops",
             ModelKind::Asap => "asap",
             ModelKind::Eadr => "eadr",
             ModelKind::Bbb => "bbb",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for ModelKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<ModelKind, String> {
+        Ok(match s.to_ascii_lowercase().as_str() {
+            "baseline" => ModelKind::Baseline,
+            "hops" => ModelKind::Hops,
+            "asap" => ModelKind::Asap,
+            "eadr" => ModelKind::Eadr,
+            "bbb" => ModelKind::Bbb,
+            other => return Err(format!("unknown model: {other}")),
+        })
     }
 }
 
@@ -57,12 +89,30 @@ pub enum Flavor {
     Release,
 }
 
+impl Flavor {
+    /// Both flavours, epoch first (the paper's column order).
+    pub fn all() -> [Flavor; 2] {
+        [Flavor::Epoch, Flavor::Release]
+    }
+}
+
 impl fmt::Display for Flavor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Flavor::Epoch => f.write_str("EP"),
             Flavor::Release => f.write_str("RP"),
         }
+    }
+}
+
+impl FromStr for Flavor {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Flavor, String> {
+        Ok(match s.to_ascii_lowercase().as_str() {
+            "ep" | "epoch" => Flavor::Epoch,
+            "rp" | "release" => Flavor::Release,
+            other => return Err(format!("unknown flavor: {other}")),
+        })
     }
 }
 
@@ -407,5 +457,26 @@ mod tests {
         assert_eq!(ModelKind::Baseline.to_string(), "baseline");
         assert_eq!(Flavor::Epoch.to_string(), "EP");
         assert_eq!(Flavor::Release.to_string(), "RP");
+    }
+
+    #[test]
+    fn model_display_parse_round_trips() {
+        for kind in ModelKind::all() {
+            let parsed: ModelKind = kind.to_string().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert_eq!("ASAP".parse::<ModelKind>().unwrap(), ModelKind::Asap);
+        assert!("pmem".parse::<ModelKind>().is_err());
+    }
+
+    #[test]
+    fn flavor_display_parse_round_trips() {
+        for flavor in Flavor::all() {
+            let parsed: Flavor = flavor.to_string().parse().unwrap();
+            assert_eq!(parsed, flavor);
+        }
+        assert_eq!("epoch".parse::<Flavor>().unwrap(), Flavor::Epoch);
+        assert_eq!("release".parse::<Flavor>().unwrap(), Flavor::Release);
+        assert!("strict".parse::<Flavor>().is_err());
     }
 }

@@ -102,10 +102,7 @@ impl Histogram {
 
     /// Largest recorded value, or 0 if empty.
     pub fn max(&self) -> usize {
-        self.counts
-            .iter()
-            .rposition(|&c| c > 0)
-            .unwrap_or(0)
+        self.counts.iter().rposition(|&c| c > 0).unwrap_or(0)
     }
 
     /// Merge another histogram into this one.
@@ -292,14 +289,21 @@ impl Stats {
         m.insert("ofenceStalled".to_string(), self.ofence_stalled);
         m.insert("nvmWrites".to_string(), self.nvm_writes);
         m.insert("nvmReads".to_string(), self.nvm_reads);
+        m.insert("xpbufferHits".to_string(), self.xpbuffer_hits);
         m.insert("totalDelay".to_string(), self.total_delay);
         m.insert("nacks".to_string(), self.nacks);
         m.insert("commitMsgs".to_string(), self.commit_msgs);
         m.insert("cdrMsgs".to_string(), self.cdr_msgs);
+        m.insert("pbCoalesced".to_string(), self.pb_coalesced);
+        m.insert("wpqCoalesced".to_string(), self.wpq_coalesced);
+        m.insert("mcSuppressedWrites".to_string(), self.mc_suppressed_writes);
         m.insert("epochsCreated".to_string(), self.epochs_created);
         m.insert("epochsCommitted".to_string(), self.epochs_committed);
         m.insert("totalCycles".to_string(), self.total_cycles);
         m.insert("opsCompleted".to_string(), self.ops_completed);
+        m.insert("loads".to_string(), self.loads);
+        m.insert("stores".to_string(), self.stores);
+        m.insert("globalTsReads".to_string(), self.global_ts_reads);
         StatSnapshot { counters: m }
     }
 
@@ -438,5 +442,86 @@ mod tests {
         let mut s = Stats::new();
         s.finish(Cycle(1234));
         assert_eq!(s.total_cycles, 1234);
+    }
+
+    #[test]
+    fn snapshot_covers_every_scalar_counter() {
+        // Assign each scalar a distinct value; every one must surface in
+        // the snapshot under its paper name with that exact value.
+        let s = Stats {
+            cycles_blocked: 1,
+            cycles_stalled: 2,
+            dfence_stalled: 3,
+            entries_inserted: 4,
+            inter_t_epoch_conflict: 5,
+            tot_spec_writes: 6,
+            total_undo: 7,
+            ofence_stalled: 8,
+            nvm_writes: 9,
+            nvm_reads: 10,
+            xpbuffer_hits: 11,
+            total_delay: 12,
+            nacks: 13,
+            commit_msgs: 14,
+            cdr_msgs: 15,
+            pb_coalesced: 16,
+            wpq_coalesced: 17,
+            mc_suppressed_writes: 18,
+            epochs_created: 19,
+            epochs_committed: 20,
+            total_cycles: 21,
+            ops_completed: 22,
+            loads: 23,
+            stores: 24,
+            global_ts_reads: 25,
+            ..Stats::new()
+        };
+        let snap = s.snapshot();
+        let expect = [
+            ("cyclesBlocked", 1),
+            ("cyclesStalled", 2),
+            ("dfenceStalled", 3),
+            ("entriesInserted", 4),
+            ("interTEpochConflict", 5),
+            ("totSpecWrites", 6),
+            ("totalUndo", 7),
+            ("ofenceStalled", 8),
+            ("nvmWrites", 9),
+            ("nvmReads", 10),
+            ("xpbufferHits", 11),
+            ("totalDelay", 12),
+            ("nacks", 13),
+            ("commitMsgs", 14),
+            ("cdrMsgs", 15),
+            ("pbCoalesced", 16),
+            ("wpqCoalesced", 17),
+            ("mcSuppressedWrites", 18),
+            ("epochsCreated", 19),
+            ("epochsCommitted", 20),
+            ("totalCycles", 21),
+            ("opsCompleted", 22),
+            ("loads", 23),
+            ("stores", 24),
+            ("globalTsReads", 25),
+        ];
+        assert_eq!(snap.iter().count(), expect.len());
+        for (name, value) in expect {
+            assert_eq!(snap.get(name), Some(value), "counter {name}");
+        }
+    }
+
+    #[test]
+    fn stats_txt_is_deterministic_and_sorted() {
+        let mut s = Stats::new();
+        s.nvm_writes = 42;
+        s.cycles_blocked = 17;
+        let a = s.snapshot().to_stats_txt();
+        let b = s.snapshot().to_stats_txt();
+        assert_eq!(a, b);
+        let snap = s.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(k, _)| k).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "iteration must be in sorted key order");
     }
 }

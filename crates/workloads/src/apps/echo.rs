@@ -5,8 +5,9 @@
 //! index under a lock. We model exactly that: per-op local log append
 //! (`ofence`-ordered), and every [`BATCH`] ops a locked master update.
 
-use crate::common::{KeySampler, 
-    fnv1a, init_once, LockPhase, LockStep, SpinLock, WorkloadParams, GLOBALS_BASE, STATIC_BASE,
+use crate::common::{
+    fnv1a, init_once, KeySampler, LockPhase, LockStep, SpinLock, WorkloadParams, GLOBALS_BASE,
+    STATIC_BASE,
 };
 use asap_core::{BurstCtx, BurstStatus, ThreadProgram};
 use asap_sim_core::{DetRng, ThreadId};

@@ -6,9 +6,9 @@
 //! `ofence`, release, `dfence` before acking the client. GETs are
 //! lock-free chain walks.
 
-use crate::common::{KeySampler, 
-    fnv1a, init_once, lock_region, Arena, LockPhase, LockStep, SpinLock, WorkloadParams,
-    GLOBALS_BASE, LOCK_STRIPES, STATIC_BASE,
+use crate::common::{
+    fnv1a, init_once, lock_region, Arena, KeySampler, LockPhase, LockStep, SpinLock,
+    WorkloadParams, GLOBALS_BASE, LOCK_STRIPES, STATIC_BASE,
 };
 use asap_core::{BurstCtx, BurstStatus, ThreadProgram};
 use asap_sim_core::{DetRng, ThreadId};
@@ -25,7 +25,11 @@ pub(crate) fn bucket_addr(key: u64) -> u64 {
 
 enum Phase {
     Idle,
-    Locked { key: u64, lock: SpinLock, phase: LockPhase },
+    Locked {
+        key: u64,
+        lock: SpinLock,
+        phase: LockPhase,
+    },
 }
 
 /// Memcached SET/GET workload.
@@ -92,7 +96,11 @@ impl ThreadProgram for Memcached {
 
         match std::mem::replace(&mut self.phase, Phase::Idle) {
             Phase::Idle => {}
-            Phase::Locked { key, lock, mut phase } => {
+            Phase::Locked {
+                key,
+                lock,
+                mut phase,
+            } => {
                 match phase.step(lock, ctx, tid, 30) {
                     LockStep::EnterCritical => {
                         self.set(ctx, key);
@@ -119,7 +127,11 @@ impl ThreadProgram for Memcached {
         let key = self.sampler.sample(&mut self.rng);
         if self.rng.chance(self.params.update_fraction) {
             let lock = SpinLock::striped(lock_region(2), fnv1a(key), LOCK_STRIPES);
-            self.phase = Phase::Locked { key, lock, phase: LockPhase::start() };
+            self.phase = Phase::Locked {
+                key,
+                lock,
+                phase: LockPhase::start(),
+            };
         } else {
             self.get(ctx, key);
             ctx.op_completed();

@@ -55,18 +55,15 @@ impl Vacation {
 
     fn reservation_txn(&mut self, ctx: &mut BurstCtx<'_>) {
         // PMDK-style: undo-log append per modified row, then the updates.
-        let slot = TXLOG_REGION
-            + self.tid as u64 * LOG_SLOTS * 64
-            + (self.log_pos % LOG_SLOTS) * 64;
+        let slot =
+            TXLOG_REGION + self.tid as u64 * LOG_SLOTS * 64 + (self.log_pos % LOG_SLOTS) * 64;
         self.log_pos += 1;
         ctx.store_u64(slot, self.log_pos);
         ctx.ofence();
         // Reserve a car + flight + room: read and update one row of each
         // table.
         for t in 0..TABLES {
-            let row = TABLES_REGION
-                + t * ROWS_PER_TABLE * 64
-                + self.rng.below(ROWS_PER_TABLE) * 64;
+            let row = TABLES_REGION + t * ROWS_PER_TABLE * 64 + self.rng.below(ROWS_PER_TABLE) * 64;
             let seats = ctx.load_u64(row);
             ctx.store_u64(row, seats.wrapping_add(1));
         }

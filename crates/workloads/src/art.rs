@@ -15,7 +15,7 @@
 //! Lock-free CAS publication over a shared tree gives P-ART the high
 //! cross-thread dependency rate of the paper's Figure 2.
 
-use crate::common::{KeySampler, fnv1a, init_once, Arena, WorkloadParams, GLOBALS_BASE};
+use crate::common::{fnv1a, init_once, Arena, KeySampler, WorkloadParams, GLOBALS_BASE};
 use asap_core::{BurstCtx, BurstStatus, ThreadProgram};
 use asap_sim_core::{DetRng, ThreadId};
 

@@ -90,7 +90,11 @@ impl AtlasHeap {
                 break;
             }
             let lv = ctx.load_u64(elem(l));
-            let child = if r < n && ctx.load_u64(elem(r)) < lv { r } else { l };
+            let child = if r < n && ctx.load_u64(elem(r)) < lv {
+                r
+            } else {
+                l
+            };
             let cv = ctx.load_u64(elem(child));
             let iv = ctx.load_u64(elem(i));
             if iv <= cv {

@@ -33,7 +33,11 @@ pub struct UndoLog {
 impl UndoLog {
     /// A log of `slots` one-line records at `base`.
     pub fn new(base: u64, slots: u64) -> UndoLog {
-        UndoLog { base, slots, pos: 0 }
+        UndoLog {
+            base,
+            slots,
+            pos: 0,
+        }
     }
 
     /// Base address of the log region.
@@ -111,7 +115,10 @@ mod tests {
             .map(|(i, _)| i)
             .collect();
         let fence = ops.iter().position(|o| matches!(o, MemOp::OFence)).unwrap();
-        assert!(stores[0] < fence && stores[1] < fence && stores[2] < fence, "log before fence");
+        assert!(
+            stores[0] < fence && stores[1] < fence && stores[2] < fence,
+            "log before fence"
+        );
         assert!(stores[3] > fence, "data after fence");
         // Functional state updated.
         assert_eq!(pm.read_u64(0x8000_0000), 42);

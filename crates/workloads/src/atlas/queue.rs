@@ -169,6 +169,9 @@ mod tests {
     fn queue_multithreaded_hand_offs() {
         let sim = run(4, 20);
         assert_eq!(sim.stats().ops_completed, 80);
-        assert!(sim.stats().inter_t_epoch_conflict > 0, "lock hand-offs expected");
+        assert!(
+            sim.stats().inter_t_epoch_conflict > 0,
+            "lock hand-offs expected"
+        );
     }
 }

@@ -107,8 +107,7 @@ mod tests {
     fn asap_utilizes_more_bandwidth_than_hops() {
         let asap = run(ModelKind::Asap);
         let hops = run(ModelKind::Hops);
-        let ua = asap.media_utilization() * asap.now().raw() as f64
-            / asap.now().raw() as f64; // utilization fraction
+        let ua = asap.media_utilization() * asap.now().raw() as f64 / asap.now().raw() as f64; // utilization fraction
         let uh = hops.media_utilization();
         // Same total writes, so lower runtime == higher utilization.
         assert!(

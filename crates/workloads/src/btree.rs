@@ -17,8 +17,8 @@
 //! half to a lower-layer root, and the value lives in the lower tree —
 //! doubling the traversal and write path, like RECIPE's P-Masstree.
 
-use crate::common::{KeySampler, 
-    init_once, lock_region, Arena, LockPhase, LockStep, SpinLock, WorkloadParams,
+use crate::common::{
+    init_once, lock_region, Arena, KeySampler, LockPhase, LockStep, SpinLock, WorkloadParams,
     GLOBALS_BASE, LOCK_STRIPES,
 };
 use asap_core::{BurstCtx, BurstStatus, ThreadProgram};
@@ -278,10 +278,22 @@ impl ThreadProgram for FastFair {
                             let again = self.find_leaf(ctx, root_ptr, key);
                             let _ = self.insert_into_leaf(ctx, again, key, val);
                         }
-                        self.phase = Phase::Locked { key, leaf, lock, phase, layer2 };
+                        self.phase = Phase::Locked {
+                            key,
+                            leaf,
+                            lock,
+                            phase,
+                            layer2,
+                        };
                     }
                     LockStep::StillAcquiring => {
-                        self.phase = Phase::Locked { key, leaf, lock, phase, layer2 };
+                        self.phase = Phase::Locked {
+                            key,
+                            leaf,
+                            lock,
+                            phase,
+                            layer2,
+                        };
                     }
                     LockStep::Released => {
                         if layer2 || !self.layered {

@@ -7,9 +7,9 @@
 //! (acquire-annotated), write the pair, `ofence`, release; lookups are
 //! lock-free single-line reads.
 
-use crate::common::{KeySampler, 
-    fnv1a, init_once, lock_region, Arena, LockPhase, LockStep, SpinLock, WorkloadParams,
-    GLOBALS_BASE, STATIC_BASE,
+use crate::common::{
+    fnv1a, init_once, lock_region, Arena, KeySampler, LockPhase, LockStep, SpinLock,
+    WorkloadParams, GLOBALS_BASE, STATIC_BASE,
 };
 use asap_core::{BurstCtx, BurstStatus, ThreadProgram};
 use asap_sim_core::{DetRng, ThreadId};
@@ -37,7 +37,12 @@ pub(crate) fn next_addr(bucket: u64) -> u64 {
 
 enum Phase {
     Idle,
-    Locked { key: u64, bucket: u64, lock: SpinLock, phase: LockPhase },
+    Locked {
+        key: u64,
+        bucket: u64,
+        lock: SpinLock,
+        phase: LockPhase,
+    },
 }
 
 /// P-CLHT update-heavy workload.
@@ -129,14 +134,29 @@ impl ThreadProgram for PClht {
 
         match std::mem::replace(&mut self.phase, Phase::Idle) {
             Phase::Idle => {}
-            Phase::Locked { key, bucket, lock, mut phase } => {
+            Phase::Locked {
+                key,
+                bucket,
+                lock,
+                mut phase,
+            } => {
                 match phase.step(lock, ctx, tid, 30) {
                     LockStep::EnterCritical => {
                         self.locked_insert(ctx, bucket, key);
-                        self.phase = Phase::Locked { key, bucket, lock, phase };
+                        self.phase = Phase::Locked {
+                            key,
+                            bucket,
+                            lock,
+                            phase,
+                        };
                     }
                     LockStep::StillAcquiring => {
-                        self.phase = Phase::Locked { key, bucket, lock, phase };
+                        self.phase = Phase::Locked {
+                            key,
+                            bucket,
+                            lock,
+                            phase,
+                        };
                     }
                     LockStep::Released => {
                         ctx.dfence();

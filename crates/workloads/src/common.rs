@@ -121,14 +121,26 @@ impl KeySampler {
         let zeta2: f64 = (1..=2.min(n)).map(|i| 1.0 / (i as f64).powf(theta)).sum();
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        KeySampler::Zipf { n, theta, zetan, eta, alpha }
+        KeySampler::Zipf {
+            n,
+            theta,
+            zetan,
+            eta,
+            alpha,
+        }
     }
 
     /// Draw a key in `[1, n]`.
     pub fn sample(&self, rng: &mut DetRng) -> u64 {
         match *self {
             KeySampler::Uniform { n } => rng.below(n) + 1,
-            KeySampler::Zipf { n, theta, zetan, eta, alpha } => {
+            KeySampler::Zipf {
+                n,
+                theta,
+                zetan,
+                eta,
+                alpha,
+            } => {
                 let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
                 let uz = u * zetan;
                 if uz < 1.0 {
@@ -372,14 +384,26 @@ mod tests {
         let mut ctx = BurstCtx::new(&mut pm, &mut j);
         let lock = SpinLock::at(GLOBALS_BASE + 64);
         let mut phase = LockPhase::start();
-        assert_eq!(phase.step(lock, &mut ctx, ThreadId(0), 10), LockStep::EnterCritical);
+        assert_eq!(
+            phase.step(lock, &mut ctx, ThreadId(0), 10),
+            LockStep::EnterCritical
+        );
         // A competitor queues behind us while we hold it.
         let mut other = LockPhase::start();
-        assert_eq!(other.step(lock, &mut ctx, ThreadId(1), 10), LockStep::StillAcquiring);
-        assert_eq!(phase.step(lock, &mut ctx, ThreadId(0), 10), LockStep::Released);
+        assert_eq!(
+            other.step(lock, &mut ctx, ThreadId(1), 10),
+            LockStep::StillAcquiring
+        );
+        assert_eq!(
+            phase.step(lock, &mut ctx, ThreadId(0), 10),
+            LockStep::Released
+        );
         assert_eq!(phase, LockPhase::start());
         // FIFO: the queued competitor is served next.
-        assert_eq!(other.step(lock, &mut ctx, ThreadId(1), 10), LockStep::EnterCritical);
+        assert_eq!(
+            other.step(lock, &mut ctx, ThreadId(1), 10),
+            LockStep::EnterCritical
+        );
     }
 
     #[test]
@@ -416,7 +440,10 @@ mod tests {
         }
         // Under uniform, keys 1..=10 get ~1%; Zipf(0.99) gives them far
         // more.
-        assert!(head as f64 / draws as f64 > 0.2, "zipf not skewed: {head}/{draws}");
+        assert!(
+            head as f64 / draws as f64 > 0.2,
+            "zipf not skewed: {head}/{draws}"
+        );
     }
 
     #[test]

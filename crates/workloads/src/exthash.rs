@@ -21,9 +21,9 @@
 //! different — lock-shaped — cross-thread dependency profile, as in the
 //! paper's Figure 2.
 
-use crate::common::{KeySampler, 
-    fnv1a, init_once, lock_region, Arena, LockPhase, LockStep, SpinLock, WorkloadParams,
-    GLOBALS_BASE, LOCK_STRIPES, STATIC_BASE,
+use crate::common::{
+    fnv1a, init_once, lock_region, Arena, KeySampler, LockPhase, LockStep, SpinLock,
+    WorkloadParams, GLOBALS_BASE, LOCK_STRIPES, STATIC_BASE,
 };
 use asap_core::{BurstCtx, BurstStatus, ThreadProgram};
 use asap_sim_core::{DetRng, ThreadId};
@@ -66,9 +66,18 @@ pub(crate) fn slot_addr(bucket: u64, s: u64) -> u64 {
 enum Phase {
     Idle,
     /// Dash: waiting on a bucket lock for (key, bucket line).
-    DashLocked { key: u64, lock: SpinLock, phase: LockPhase },
+    DashLocked {
+        key: u64,
+        lock: SpinLock,
+        phase: LockPhase,
+    },
     /// Splitting the segment behind directory slot `dir`.
-    Split { key: u64, dir: u64, phase: LockPhase, lock: SpinLock },
+    Split {
+        key: u64,
+        dir: u64,
+        phase: LockPhase,
+        lock: SpinLock,
+    },
 }
 
 /// CCEH / Dash-EH insert-heavy workload.
@@ -198,7 +207,7 @@ impl ExtHash {
     fn split(&mut self, ctx: &mut BurstCtx<'_>, dir: u64) {
         let old = ctx.load_u64(EXT_DIR + dir * 8);
         let depth = ctx.load_u64(seg_header(old));
-        if depth as u32 >= DIR_BITS as u32 {
+        if depth as u32 >= DIR_BITS {
             // Cannot split further with a fixed directory: steal the
             // oldest slot in the target bucket instead (bounded overwrite
             // keeps the workload running; real CCEH would double the
@@ -275,7 +284,11 @@ impl ExtHash {
     /// count (not the key count), so concurrent writers genuinely
     /// contend — the Figure 2 dependency source for dash-eh.
     fn dash_lock(h: u64) -> SpinLock {
-        SpinLock::striped(lock_region(4), dir_index(h) * BUCKETS_PER_SEG + bucket_index(h), 256)
+        SpinLock::striped(
+            lock_region(4),
+            dir_index(h) * BUCKETS_PER_SEG + bucket_index(h),
+            256,
+        )
     }
 }
 
@@ -285,7 +298,11 @@ impl ThreadProgram for ExtHash {
 
         match std::mem::replace(&mut self.phase, Phase::Idle) {
             Phase::Idle => {}
-            Phase::DashLocked { key, lock, mut phase } => {
+            Phase::DashLocked {
+                key,
+                lock,
+                mut phase,
+            } => {
                 match phase.step(lock, ctx, tid, 40) {
                     LockStep::EnterCritical => {
                         // Critical section in the same burst: slot insert
@@ -313,7 +330,12 @@ impl ThreadProgram for ExtHash {
                 }
                 return BurstStatus::Running;
             }
-            Phase::Split { key, dir, mut phase, lock } => {
+            Phase::Split {
+                key,
+                dir,
+                mut phase,
+                lock,
+            } => {
                 match phase.step(lock, ctx, tid, 60) {
                     LockStep::EnterCritical => {
                         // Holding the split lock: re-check (someone may
@@ -325,10 +347,20 @@ impl ThreadProgram for ExtHash {
                             // structure drops the insert.
                             let _ = self.try_insert(ctx, key);
                         }
-                        self.phase = Phase::Split { key, dir, phase, lock };
+                        self.phase = Phase::Split {
+                            key,
+                            dir,
+                            phase,
+                            lock,
+                        };
                     }
                     LockStep::StillAcquiring => {
-                        self.phase = Phase::Split { key, dir, phase, lock };
+                        self.phase = Phase::Split {
+                            key,
+                            dir,
+                            phase,
+                            lock,
+                        };
                     }
                     LockStep::Released => {
                         ctx.dfence();
@@ -447,8 +479,7 @@ mod tests {
             update_fraction: 1.0,
             ..Default::default()
         };
-        let programs: Vec<Box<dyn ThreadProgram>> =
-            vec![Box::new(ExtHash::new_cceh(0, &params))];
+        let programs: Vec<Box<dyn ThreadProgram>> = vec![Box::new(ExtHash::new_cceh(0, &params))];
         let mut sim = SimBuilder::new(SimConfig::paper(), ModelKind::Asap, Flavor::Release)
             .programs(programs)
             .build();

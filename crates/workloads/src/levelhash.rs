@@ -8,9 +8,9 @@
 //! When all three candidates are full the pair goes to a lock-protected
 //! **stash** region — the standard overflow path.
 
-use crate::common::{KeySampler, 
-    fnv1a, init_once, lock_region, Arena, LockPhase, LockStep, SpinLock, WorkloadParams,
-    GLOBALS_BASE, LOCK_STRIPES, STATIC_BASE,
+use crate::common::{
+    fnv1a, init_once, lock_region, Arena, KeySampler, LockPhase, LockStep, SpinLock,
+    WorkloadParams, GLOBALS_BASE, LOCK_STRIPES, STATIC_BASE,
 };
 use asap_core::{BurstCtx, BurstStatus, ThreadProgram};
 use asap_sim_core::{DetRng, ThreadId};
@@ -49,9 +49,19 @@ pub(crate) fn pair_addr(bucket: u64, i: u64) -> u64 {
 enum Phase {
     Idle,
     /// Holding/awaiting one candidate bucket's lock.
-    Bucket { key: u64, bucket: u64, alt: u8, lock: SpinLock, phase: LockPhase, placed: bool },
+    Bucket {
+        key: u64,
+        bucket: u64,
+        alt: u8,
+        lock: SpinLock,
+        phase: LockPhase,
+        placed: bool,
+    },
     /// Overflow: stash append under the stash lock.
-    Stash { key: u64, phase: LockPhase },
+    Stash {
+        key: u64,
+        phase: LockPhase,
+    },
 }
 
 /// Dash-LH insert-heavy workload.
@@ -132,14 +142,35 @@ impl ThreadProgram for LevelHash {
 
         match std::mem::replace(&mut self.phase, Phase::Idle) {
             Phase::Idle => {}
-            Phase::Bucket { key, bucket, alt, lock, mut phase, mut placed } => {
+            Phase::Bucket {
+                key,
+                bucket,
+                alt,
+                lock,
+                mut phase,
+                mut placed,
+            } => {
                 match phase.step(lock, ctx, tid, 30) {
                     LockStep::EnterCritical => {
                         placed = self.locked_insert(ctx, bucket, key);
-                        self.phase = Phase::Bucket { key, bucket, alt, lock, phase, placed };
+                        self.phase = Phase::Bucket {
+                            key,
+                            bucket,
+                            alt,
+                            lock,
+                            phase,
+                            placed,
+                        };
                     }
                     LockStep::StillAcquiring => {
-                        self.phase = Phase::Bucket { key, bucket, alt, lock, phase, placed };
+                        self.phase = Phase::Bucket {
+                            key,
+                            bucket,
+                            alt,
+                            lock,
+                            phase,
+                            placed,
+                        };
                     }
                     LockStep::Released => {
                         if placed {
@@ -157,7 +188,10 @@ impl ThreadProgram for LevelHash {
                             };
                         } else {
                             // All candidates full: stash.
-                            self.phase = Phase::Stash { key, phase: LockPhase::start() };
+                            self.phase = Phase::Stash {
+                                key,
+                                phase: LockPhase::start(),
+                            };
                         }
                     }
                 }

@@ -57,7 +57,9 @@ pub mod exthash;
 pub mod levelhash;
 pub mod recovery;
 
-pub use common::{Arena, KeySampler, SpinLock, WorkloadParams, GLOBALS_BASE, LOCK_CELL_BYTES, STATIC_BASE};
+pub use common::{
+    Arena, KeySampler, SpinLock, WorkloadParams, GLOBALS_BASE, LOCK_CELL_BYTES, STATIC_BASE,
+};
 
 use asap_core::ThreadProgram;
 use std::fmt;

@@ -236,7 +236,9 @@ pub fn verify_fastfair(nvm: &NvmImage) -> RecoveryReport {
         }
         let count = nvm.read_u64(node + btree::HDR_COUNT);
         if count > btree::FANOUT {
-            r.violate(format!("fast_fair: leaf {node:#x} count {count} out of range"));
+            r.violate(format!(
+                "fast_fair: leaf {node:#x} count {count} out of range"
+            ));
             break;
         }
         let mut last = 0;
@@ -394,13 +396,16 @@ pub fn recover_atlas_heap(nvm: &NvmImage) -> RecoveryReport {
     // Unwind newest-first so, when a section logged an address several
     // times, the *oldest* logged value (the pre-section state) is the
     // one that sticks.
-    pending.sort_by(|a, b| b.0.cmp(&a.0));
+    pending.sort_by_key(|e| std::cmp::Reverse(e.0));
     let mut overlay: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
     for &(_, addr, old) in &pending {
         overlay.insert(addr, old);
     }
     let read = |addr: u64| -> u64 {
-        overlay.get(&addr).copied().unwrap_or_else(|| nvm.read_u64(addr))
+        overlay
+            .get(&addr)
+            .copied()
+            .unwrap_or_else(|| nvm.read_u64(addr))
     };
     r.torn_entries = pending.len() as u64;
 
@@ -493,7 +498,11 @@ mod tests {
     #[test]
     fn completed_runs_have_live_entries() {
         // Crash long after completion: plenty of live data, zero torn.
-        for kind in [WorkloadKind::Cceh, WorkloadKind::PClht, WorkloadKind::Skiplist] {
+        for kind in [
+            WorkloadKind::Cceh,
+            WorkloadKind::PClht,
+            WorkloadKind::Skiplist,
+        ] {
             let r = crash_and_verify(kind, 30_000_000, 5);
             assert!(r.is_recoverable(), "{kind}: {:?}", r.violations);
             assert!(r.live_entries > 0, "{kind}: nothing persisted");
@@ -503,7 +512,11 @@ mod tests {
 
     #[test]
     fn early_crashes_may_tear_but_never_corrupt() {
-        for kind in [WorkloadKind::Cceh, WorkloadKind::Memcached, WorkloadKind::PArt] {
+        for kind in [
+            WorkloadKind::Cceh,
+            WorkloadKind::Memcached,
+            WorkloadKind::PArt,
+        ] {
             for at in [2_000u64, 5_000, 9_000] {
                 let r = crash_and_verify(kind, at, 11);
                 assert!(r.is_recoverable(), "{kind} crash@{at}: {:?}", r.violations);

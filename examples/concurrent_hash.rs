@@ -25,7 +25,10 @@ fn main() {
 
     let mut base_cycles = 0u64;
     println!("CCEH, 4 threads, 150 inserts/thread, 2 MCs\n");
-    println!("{:<10} {:>12} {:>9} {:>10} {:>10}", "model", "cycles", "speedup", "crossDeps", "nvmWrites");
+    println!(
+        "{:<10} {:>12} {:>9} {:>10} {:>10}",
+        "model", "cycles", "speedup", "crossDeps", "nvmWrites"
+    );
     for (name, model, flavor) in models {
         let out = run_once(&RunSpec {
             config: SimConfig::paper(),

@@ -12,7 +12,7 @@
 //! ```
 
 use asap::model::ops::{BurstCtx, BurstStatus, ThreadProgram};
-use asap::model::{SimBuilder};
+use asap::model::SimBuilder;
 use asap::sim::{Cycle, Flavor, ModelKind, SimConfig, ThreadId};
 
 /// A bank-transfer-style program: debit one account, fence, credit the
@@ -56,8 +56,16 @@ impl ThreadProgram for Transfers {
 fn main() {
     for crash_at in [2_000u64, 10_000, 50_000, 250_000] {
         let mut sim = SimBuilder::new(SimConfig::paper(), ModelKind::Asap, Flavor::Release)
-            .program(Box::new(Transfers { rounds: 500, accounts: 64, done: 0 }))
-            .program(Box::new(Transfers { rounds: 500, accounts: 64, done: 0 }))
+            .program(Box::new(Transfers {
+                rounds: 500,
+                accounts: 64,
+                done: 0,
+            }))
+            .program(Box::new(Transfers {
+                rounds: 500,
+                accounts: 64,
+                done: 0,
+            }))
             .with_journal()
             .build();
 

@@ -23,16 +23,16 @@ fn main() {
 
     println!(
         "simulating {} under {}_{} on {} cores / {} MCs...\n",
-        spec.workload,
-        spec.model,
-        spec.flavor,
-        spec.config.num_cores,
-        spec.config.num_mcs
+        spec.workload, spec.model, spec.flavor, spec.config.num_cores, spec.config.num_mcs
     );
 
     let out = run_once(&spec);
 
-    println!("finished in {} simulated cycles ({} ns)", out.cycles, out.cycles / 2);
+    println!(
+        "finished in {} simulated cycles ({} ns)",
+        out.cycles,
+        out.cycles / 2
+    );
     println!("logical operations completed: {}", out.ops);
     println!(
         "throughput: {:.1} ops/us\n",

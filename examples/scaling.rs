@@ -15,7 +15,10 @@ use asap::workloads::WorkloadKind;
 
 fn throughput(model: ModelKind, threads: usize) -> f64 {
     let out = run_once(&RunSpec {
-        config: SimConfig::builder().cores(threads).build().expect("valid config"),
+        config: SimConfig::builder()
+            .cores(threads)
+            .build()
+            .expect("valid config"),
         model,
         flavor: Flavor::Release,
         workload: WorkloadKind::PArt,

@@ -73,8 +73,18 @@ fn main() {
         let mut crashed = NvmImage::new();
         let mut mc_copy_stats = Stats::new();
         let mut mc_copy = MemController::new(McId(0), &cfg);
-        mc_copy.receive_flush(Cycle(0), &pkt(3, 30, 3, 1, true), &mut crashed, &mut mc_copy_stats);
-        mc_copy.receive_flush(Cycle(10), &pkt(2, 20, 2, 1, true), &mut crashed, &mut mc_copy_stats);
+        mc_copy.receive_flush(
+            Cycle(0),
+            &pkt(3, 30, 3, 1, true),
+            &mut crashed,
+            &mut mc_copy_stats,
+        );
+        mc_copy.receive_flush(
+            Cycle(10),
+            &pkt(2, 20, 2, 1, true),
+            &mut crashed,
+            &mut mc_copy_stats,
+        );
         mc_copy.crash(&mut crashed);
         println!(
             "{:<46} | A = {} (the initial value — nothing was lost)",
@@ -85,12 +95,24 @@ fn main() {
     }
 
     // No crash: epochs commit in dependency order (T2's epoch first).
-    mc.commit_epoch(Cycle(20), EpochId::new(ThreadId(2), 1), &mut nvm, &mut stats);
+    mc.commit_epoch(
+        Cycle(20),
+        EpochId::new(ThreadId(2), 1),
+        &mut nvm,
+        &mut stats,
+    );
     show("T2's epoch commits (delay folds into undo)", &mc, &nvm);
 
-    mc.commit_epoch(Cycle(30), EpochId::new(ThreadId(3), 1), &mut nvm, &mut stats);
+    mc.commit_epoch(
+        Cycle(30),
+        EpochId::new(ThreadId(3), 1),
+        &mut nvm,
+        &mut stats,
+    );
     show("T3's epoch commits (undo deleted)", &mc, &nvm);
 
     assert_eq!(nvm.line(LineAddr::containing(0x40)).data[0], 3);
-    println!("\nfinal memory: A = 3 — the newest value, with every intermediate state recoverable.");
+    println!(
+        "\nfinal memory: A = 3 — the newest value, with every intermediate state recoverable."
+    );
 }

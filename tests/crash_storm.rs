@@ -127,5 +127,8 @@ fn crash_after_completion_recovers_everything() {
     sim.run_to_completion();
     let report = sim.crash_and_check();
     assert!(report.is_consistent(), "{:?}", report.violations);
-    assert_eq!(report.undo_records_applied, 0, "all undo records cleaned by commits");
+    assert_eq!(
+        report.undo_records_applied, 0,
+        "all undo records cleaned by commits"
+    );
 }

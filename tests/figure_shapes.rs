@@ -2,9 +2,7 @@
 //! scale: if a refactor flips who wins (or kills a crossover the paper
 //! highlights), these fail before the full-scale report does.
 
-use asap::harness::experiments::{
-    abl_mc_count, fig09_writes, fig13_bandwidth, ExperimentScale,
-};
+use asap::harness::experiments::{abl_mc_count, fig09_writes, fig13_bandwidth, ExperimentScale};
 use asap::harness::{run_once, RunSpec};
 use asap::sim::{Cycle, Flavor, ModelKind, SimConfig};
 use asap::workloads::WorkloadKind;
@@ -19,7 +17,10 @@ fn tiny() -> ExperimentScale {
 
 fn cycles(model: ModelKind, flavor: Flavor, w: WorkloadKind, threads: usize) -> u64 {
     run_once(&RunSpec {
-        config: SimConfig::builder().cores(threads).build().expect("valid config"),
+        config: SimConfig::builder()
+            .cores(threads)
+            .build()
+            .expect("valid config"),
         model,
         flavor,
         workload: w,
@@ -50,9 +51,15 @@ fn fig08_shape_headline_ordering() {
         asap += b / cycles(ModelKind::Asap, Flavor::Release, w, 4) as f64;
         eadr += b / cycles(ModelKind::Eadr, Flavor::Release, w, 4) as f64;
     }
-    assert!(asap > hops, "ASAP_RP avg speedup ({asap:.2}) must beat HOPS_RP ({hops:.2})");
+    assert!(
+        asap > hops,
+        "ASAP_RP avg speedup ({asap:.2}) must beat HOPS_RP ({hops:.2})"
+    );
     assert!(asap > base, "ASAP_RP must beat baseline");
-    assert!(eadr >= asap * 0.95, "eADR should cap the speedups (eadr={eadr:.2} asap={asap:.2})");
+    assert!(
+        eadr >= asap * 0.95,
+        "eADR should cap the speedups (eadr={eadr:.2} asap={asap:.2})"
+    );
 }
 
 /// Fig. 8's crossover: HOPS_EP drops below baseline on the small-epoch
@@ -82,7 +89,10 @@ fn fig09_shape_write_counts() {
 fn fig10_shape_part_scaling() {
     let tput = |m: ModelKind, threads: usize| {
         let out = run_once(&RunSpec {
-            config: SimConfig::builder().cores(threads).build().expect("valid config"),
+            config: SimConfig::builder()
+                .cores(threads)
+                .build()
+                .expect("valid config"),
             model: m,
             flavor: Flavor::Release,
             workload: WorkloadKind::PArt,
@@ -104,7 +114,9 @@ fn fig10_shape_part_scaling() {
 #[test]
 fn fig13_shape_bandwidth_utilization() {
     let t = fig13_bandwidth(tiny());
-    let base = t.cell_f64("baseline", "utilization_pct").expect("baseline row");
+    let base = t
+        .cell_f64("baseline", "utilization_pct")
+        .expect("baseline row");
     let hops = t.cell_f64("hops", "utilization_pct").expect("hops row");
     let asap = t.cell_f64("asap", "utilization_pct").expect("asap row");
     assert!(asap > hops, "asap {asap} must beat hops {hops}");

@@ -8,7 +8,10 @@ use asap::workloads::WorkloadKind;
 
 fn spec(model: ModelKind, w: WorkloadKind, threads: usize, ops: u64) -> RunSpec {
     RunSpec {
-        config: SimConfig::builder().cores(threads).build().expect("valid config"),
+        config: SimConfig::builder()
+            .cores(threads)
+            .build()
+            .expect("valid config"),
         model,
         flavor: Flavor::Release,
         workload: w,
@@ -22,7 +25,11 @@ fn spec(model: ModelKind, w: WorkloadKind, threads: usize, ops: u64) -> RunSpec 
 /// persists, never architectural results).
 #[test]
 fn single_thread_ops_identical_across_models() {
-    for w in [WorkloadKind::Cceh, WorkloadKind::FastFair, WorkloadKind::Nstore] {
+    for w in [
+        WorkloadKind::Cceh,
+        WorkloadKind::FastFair,
+        WorkloadKind::Nstore,
+    ] {
         let counts: Vec<u64> = [
             ModelKind::Baseline,
             ModelKind::Hops,
@@ -99,7 +106,10 @@ fn media_writes_bounded_by_stores() {
 fn asap_record_identities() {
     let out = run_once(&spec(ModelKind::Asap, WorkloadKind::PClht, 4, 40));
     let s = &out.stats;
-    assert!(s.total_undo <= s.tot_spec_writes, "undo records need early flushes");
+    assert!(
+        s.total_undo <= s.tot_spec_writes,
+        "undo records need early flushes"
+    );
     assert!(s.total_delay <= s.tot_spec_writes);
     // Each undo-creating early flush reads the old value first.
     assert!(s.nvm_reads >= s.total_undo);
@@ -134,7 +144,10 @@ fn determinism_across_repeats() {
         let b = run_once(&spec(m, WorkloadKind::Skiplist, 3, 25));
         assert_eq!(a.cycles, b.cycles, "{m} nondeterministic");
         assert_eq!(a.media_writes, b.media_writes);
-        assert_eq!(a.stats.inter_t_epoch_conflict, b.stats.inter_t_epoch_conflict);
+        assert_eq!(
+            a.stats.inter_t_epoch_conflict,
+            b.stats.inter_t_epoch_conflict
+        );
     }
 }
 

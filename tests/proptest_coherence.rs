@@ -1,13 +1,15 @@
-//! Property-based MESI conformance: the coherence hub is exercised with
+//! Randomized MESI conformance: the coherence hub is exercised with
 //! random access sequences and compared against a reference protocol
 //! state machine. The persistency results hang off two hub-reported
 //! signals — `dirty_supplier` (who had the line modified) and
 //! `invalidated` (which sharers a write upgrade displaced) — so those are
 //! what the reference model checks.
+//!
+//! Sequences come from the workspace's own [`DetRng`], seeded per case,
+//! so failures are reproducible from the printed case number.
 
 use asap::cache::CoherenceHub;
-use asap::sim::{LineAddr, SimConfig, ThreadId};
-use proptest::prelude::*;
+use asap::sim::{DetRng, LineAddr, SimConfig, ThreadId};
 use std::collections::HashMap;
 
 /// Reference directory state per line.
@@ -15,7 +17,10 @@ use std::collections::HashMap;
 enum Ref {
     Invalid,
     /// Exclusive-or-modified at one core.
-    Owned { owner: usize, dirty: bool },
+    Owned {
+        owner: usize,
+        dirty: bool,
+    },
     Shared(Vec<usize>),
 }
 
@@ -26,22 +31,22 @@ struct Access {
     write: bool,
 }
 
-fn accesses() -> impl Strategy<Value = Vec<Access>> {
-    prop::collection::vec(
-        (0usize..4, 0u64..12, any::<bool>()).prop_map(|(thread, line, write)| Access {
-            thread,
-            line,
-            write,
-        }),
-        1..120,
-    )
+fn accesses(rng: &mut DetRng) -> Vec<Access> {
+    let n = rng.index(119) + 1;
+    (0..n)
+        .map(|_| Access {
+            thread: rng.index(4),
+            line: rng.below(12),
+            write: rng.chance(0.5),
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn hub_matches_reference_protocol(seq in accesses()) {
+#[test]
+fn hub_matches_reference_protocol() {
+    for case in 0..128u64 {
+        let mut rng = DetRng::seed(0xC0DE ^ (1 << 32) ^ case);
+        let seq = accesses(&mut rng);
         let cfg = SimConfig::paper();
         let mut hub = CoherenceHub::new(&cfg);
         let mut reference: HashMap<u64, Ref> = HashMap::new();
@@ -56,12 +61,10 @@ proptest! {
                 Ref::Owned { owner, dirty: true } if *owner != a.thread => Some(*owner),
                 _ => None,
             };
-            prop_assert_eq!(
+            assert_eq!(
                 out.dirty_supplier.map(|t| t.0),
                 expect_supplier,
-                "dirty_supplier mismatch on {:?} (ref {:?})",
-                a,
-                state
+                "case {case}: dirty_supplier mismatch on {a:?} (ref {state:?})"
             );
 
             // 2. A write upgrade must invalidate every other sharer /
@@ -77,26 +80,31 @@ proptest! {
                 got.sort_unstable();
                 let mut want = expect.clone();
                 want.sort_unstable();
-                prop_assert_eq!(got, want, "invalidation set mismatch on {:?}", a);
+                assert_eq!(got, want, "case {case}: invalidation set mismatch on {a:?}");
             }
 
             // 3. Latency is one of the modelled levels.
             let l = out.latency;
-            prop_assert!(
+            assert!(
                 l == cfg.l1_latency
                     || l == cfg.l2_latency
                     || l == cfg.llc_latency
                     || l == cfg.llc_latency + cfg.c2c_latency,
-                "unexpected latency {l} on {:?}",
-                a
+                "case {case}: unexpected latency {l} on {a:?}"
             );
 
             // Advance the reference state machine.
             *state = if a.write {
-                Ref::Owned { owner: a.thread, dirty: true }
+                Ref::Owned {
+                    owner: a.thread,
+                    dirty: true,
+                }
             } else {
                 match state.clone() {
-                    Ref::Invalid => Ref::Owned { owner: a.thread, dirty: false },
+                    Ref::Invalid => Ref::Owned {
+                        owner: a.thread,
+                        dirty: false,
+                    },
                     Ref::Owned { owner, .. } if owner == a.thread => state.clone(),
                     Ref::Owned { owner, .. } => Ref::Shared(vec![owner, a.thread]),
                     Ref::Shared(mut s) => {
@@ -110,24 +118,28 @@ proptest! {
 
             // 4. Hub-side dirtiness agrees with the reference.
             let ref_dirty = matches!(&*state, Ref::Owned { dirty: true, .. });
-            prop_assert_eq!(
+            assert_eq!(
                 hub.is_dirty_anywhere(line),
                 ref_dirty,
-                "dirtiness mismatch after {:?}",
-                a
+                "case {case}: dirtiness mismatch after {a:?}"
             );
         }
     }
+}
 
-    /// Repeated single-thread access never involves other cores.
-    #[test]
-    fn private_streams_stay_private(lines in prop::collection::vec(0u64..64, 1..64)) {
+/// Repeated single-thread access never involves other cores.
+#[test]
+fn private_streams_stay_private() {
+    for case in 0..128u64 {
+        let mut rng = DetRng::seed(0xC0DE ^ (2 << 32) ^ case);
+        let n = rng.index(63) + 1;
+        let lines: Vec<u64> = (0..n).map(|_| rng.below(64)).collect();
         let cfg = SimConfig::paper();
         let mut hub = CoherenceHub::new(&cfg);
         for (i, &l) in lines.iter().enumerate() {
             let out = hub.access(ThreadId(0), LineAddr::containing(l * 64), i % 2 == 0);
-            prop_assert_eq!(out.dirty_supplier, None);
-            prop_assert!(out.invalidated.is_empty());
+            assert_eq!(out.dirty_supplier, None, "case {case}");
+            assert!(out.invalidated.is_empty(), "case {case}");
         }
     }
 }

@@ -1,37 +1,57 @@
-//! Property-based tests on the core data structures and invariants:
+//! Randomized property tests on the core data structures and invariants:
 //! allocator disjointness, recovery-table state machine, Bloom filter,
 //! event-queue ordering, histogram percentiles and the dependency DAG.
+//!
+//! Cases are generated with the workspace's own [`DetRng`] (seeded per
+//! case, so every failure is reproducible from the printed case number)
+//! rather than an external property-testing framework, which keeps the
+//! test suite dependency-free.
 
 use asap::cache::CountingBloom;
 use asap::mc::RecoveryTable;
 use asap::model::DepGraph;
 use asap::pm::{NvmImage, PmAllocator, PmSpace};
-use asap::sim::{Cycle, EpochId, EventQueue, Histogram, LineAddr, ThreadId};
-use proptest::prelude::*;
+use asap::sim::{Cycle, DetRng, EpochId, EventQueue, Histogram, LineAddr, ThreadId};
 use std::collections::HashMap;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    // ---- allocator ----
+/// Per-case RNG: derived from the test name so suites stay independent.
+fn case_rng(test: u64, case: u64) -> DetRng {
+    DetRng::seed(0xA5A9 ^ (test << 32) ^ case)
+}
 
-    #[test]
-    fn allocations_never_overlap(sizes in prop::collection::vec(1u64..512, 1..64)) {
+// ---- allocator ----
+
+#[test]
+fn allocations_never_overlap() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let n = rng.index(63) + 1;
         let mut a = PmAllocator::new(0x1000, 1 << 22);
         let mut ranges: Vec<(u64, u64)> = Vec::new();
-        for s in sizes {
+        for _ in 0..n {
+            let s = rng.range_inclusive(1, 511);
             let addr = a.alloc(s).unwrap();
             let rounded = s.div_ceil(64) * 64;
             for &(b, len) in &ranges {
-                prop_assert!(addr + rounded <= b || b + len <= addr,
-                    "overlap: [{addr},{}) vs [{b},{})", addr + rounded, b + len);
+                assert!(
+                    addr + rounded <= b || b + len <= addr,
+                    "case {case}: overlap: [{addr},{}) vs [{b},{})",
+                    addr + rounded,
+                    b + len
+                );
             }
             ranges.push((addr, rounded));
         }
     }
+}
 
-    #[test]
-    fn freed_blocks_are_reused_not_leaked(count in 1usize..32) {
+#[test]
+fn freed_blocks_are_reused_not_leaked() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let count = rng.index(31) + 1;
         let mut a = PmAllocator::new(0, 1 << 20);
         let addrs: Vec<u64> = (0..count).map(|_| a.alloc(64).unwrap()).collect();
         for &x in &addrs {
@@ -42,35 +62,45 @@ proptest! {
         let mut sorted_b = again.clone();
         sorted_a.sort_unstable();
         sorted_b.sort_unstable();
-        prop_assert_eq!(sorted_a, sorted_b, "free list must recycle exactly");
+        assert_eq!(
+            sorted_a, sorted_b,
+            "case {case}: free list must recycle exactly"
+        );
     }
+}
 
-    // ---- functional memory ----
+// ---- functional memory ----
 
-    #[test]
-    fn pm_space_reads_back_writes(writes in prop::collection::vec((0u64..0x10_000, any::<u64>()), 1..50)) {
+#[test]
+fn pm_space_reads_back_writes() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let n = rng.index(49) + 1;
         let mut pm = PmSpace::new();
         let mut model: HashMap<u64, u64> = HashMap::new();
-        for (addr, v) in writes {
-            let addr = addr & !7; // aligned
+        for _ in 0..n {
+            let addr = rng.below(0x10_000) & !7; // aligned
+            let v = rng.next_u64();
             pm.write_u64(addr, v);
             model.insert(addr, v);
         }
         for (addr, v) in model {
-            prop_assert_eq!(pm.read_u64(addr), v);
+            assert_eq!(pm.read_u64(addr), v, "case {case}");
         }
     }
+}
 
-    // ---- recovery table state machine ----
+// ---- recovery table state machine ----
 
-    /// Random interleavings of early/safe flushes from two epochs to a
-    /// small address pool, then either a crash or a commit sequence: the
-    /// final value of each line must be the last *surviving* write.
-    #[test]
-    fn rt_crash_never_leaks_uncommitted_early_values(
-        ops in prop::collection::vec((0u8..4, any::<bool>(), 1u8..255), 1..40),
-        crash in any::<bool>(),
-    ) {
+/// Random interleavings of early/safe flushes from two epochs to a
+/// small address pool, then either a crash or a commit sequence: the
+/// final value of each line must be the last *surviving* write.
+#[test]
+fn rt_crash_never_leaks_uncommitted_early_values() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let n = rng.index(39) + 1;
+        let crash = rng.chance(0.5);
         let mut rt = RecoveryTable::new(64);
         let mut nvm = NvmImage::new();
         let e_old = EpochId::new(ThreadId(0), 0);
@@ -79,14 +109,16 @@ proptest! {
         // Track the last safe write per line (what a crash must recover
         // at minimum if no early values survive).
         let mut last_safe: HashMap<LineAddr, u8> = HashMap::new();
-        for (slot, early, val) in ops {
-            let line = LineAddr::containing(slot as u64 * 64);
+        for _ in 0..n {
+            let slot = rng.below(4);
+            let early = rng.chance(0.5);
+            let val = rng.range_inclusive(1, 254) as u8;
+            let line = LineAddr::containing(slot * 64);
             seq += 1;
             // Early flushes come from the NEW (unsafe) epoch; safe ones
             // from the OLD epoch.
             let epoch = if early { e_new } else { e_old };
-            let action = rt.handle_flush(line, [val; 64], seq, epoch, early, &mut nvm);
-            let _ = action;
+            let _ = rt.handle_flush(line, [val; 64], seq, epoch, early, &mut nvm);
             if !early {
                 last_safe.insert(line, val);
             }
@@ -98,52 +130,74 @@ proptest! {
             // must be the last safe write (or zero).
             for (line, val) in last_safe {
                 let got = nvm.line(line).data[0];
-                prop_assert_eq!(got, val,
-                    "line {:?} recovered {} but last safe write was {}", line, got, val);
+                assert_eq!(
+                    got, val,
+                    "case {case}: line {line:?} recovered {got} but last safe write was {val}"
+                );
             }
         } else {
             // Commit both epochs in dependency order: all records drain.
             rt.commit_epoch(e_old, &mut nvm);
             rt.commit_epoch(e_new, &mut nvm);
-            prop_assert_eq!(rt.occupancy(), 0);
+            assert_eq!(rt.occupancy(), 0, "case {case}");
         }
     }
+}
 
-    // ---- Bloom filter ----
+// ---- Bloom filter ----
 
-    #[test]
-    fn bloom_has_no_false_negatives(lines in prop::collection::vec(0u64..10_000, 1..128)) {
+#[test]
+fn bloom_has_no_false_negatives() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let n = rng.index(127) + 1;
+        let lines: Vec<u64> = (0..n).map(|_| rng.below(10_000)).collect();
         let mut f = CountingBloom::new(4096, 3);
         for &l in &lines {
             f.insert(LineAddr::containing(l * 64));
         }
         for &l in &lines {
-            prop_assert!(f.maybe_contains(LineAddr::containing(l * 64)));
+            assert!(
+                f.maybe_contains(LineAddr::containing(l * 64)),
+                "case {case}: false negative for {l}"
+            );
         }
     }
+}
 
-    #[test]
-    fn bloom_remove_restores_absence(lines in prop::collection::vec(0u64..1000, 1..32)) {
-        let mut f = CountingBloom::new(4096, 3);
-        let mut unique = lines.clone();
+#[test]
+fn bloom_remove_restores_absence() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let n = rng.index(31) + 1;
+        let mut unique: Vec<u64> = (0..n).map(|_| rng.below(1000)).collect();
         unique.sort_unstable();
         unique.dedup();
+        let mut f = CountingBloom::new(4096, 3);
         for &l in &unique {
             f.insert(LineAddr::containing(l * 64));
         }
         for &l in &unique {
             f.remove(LineAddr::containing(l * 64));
         }
-        prop_assert!(f.is_empty());
+        assert!(f.is_empty(), "case {case}");
         for &l in &unique {
-            prop_assert!(!f.maybe_contains(LineAddr::containing(l * 64)));
+            assert!(
+                !f.maybe_contains(LineAddr::containing(l * 64)),
+                "case {case}: stale entry for {l}"
+            );
         }
     }
+}
 
-    // ---- event queue ----
+// ---- event queue ----
 
-    #[test]
-    fn event_queue_pops_in_time_then_fifo_order(times in prop::collection::vec(0u64..1000, 1..100)) {
+#[test]
+fn event_queue_pops_in_time_then_fifo_order() {
+    for case in 0..CASES {
+        let mut rng = case_rng(7, case);
+        let n = rng.index(99) + 1;
+        let times: Vec<u64> = (0..n).map(|_| rng.below(1000)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(Cycle(t), i);
@@ -151,19 +205,24 @@ proptest! {
         let mut last: Option<(Cycle, usize)> = None;
         while let Some((t, i)) = q.pop() {
             if let Some((lt, li)) = last {
-                prop_assert!(t >= lt, "time went backwards");
+                assert!(t >= lt, "case {case}: time went backwards");
                 if t == lt {
-                    prop_assert!(i > li, "FIFO violated for same-cycle events");
+                    assert!(i > li, "case {case}: FIFO violated for same-cycle events");
                 }
             }
             last = Some((t, i));
         }
     }
+}
 
-    // ---- histogram ----
+// ---- histogram ----
 
-    #[test]
-    fn histogram_percentiles_are_monotonic(samples in prop::collection::vec(0usize..64, 1..200)) {
+#[test]
+fn histogram_percentiles_are_monotonic() {
+    for case in 0..CASES {
+        let mut rng = case_rng(8, case);
+        let n = rng.index(199) + 1;
+        let samples: Vec<usize> = (0..n).map(|_| rng.index(64)).collect();
         let mut h = Histogram::new();
         for &s in &samples {
             h.record(s);
@@ -171,37 +230,52 @@ proptest! {
         let mut prev = 0;
         for p in [10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
             let v = h.percentile(p);
-            prop_assert!(v >= prev, "percentile not monotonic");
+            assert!(v >= prev, "case {case}: percentile not monotonic");
             prev = v;
         }
-        prop_assert_eq!(h.percentile(100.0), h.max());
+        assert_eq!(h.percentile(100.0), h.max(), "case {case}");
         let max = *samples.iter().max().unwrap() as f64;
         let min = *samples.iter().min().unwrap() as f64;
-        prop_assert!(h.mean() <= max && h.mean() >= min);
+        assert!(h.mean() <= max && h.mean() >= min, "case {case}");
     }
+}
 
-    // ---- dependency DAG ----
+// ---- dependency DAG ----
 
-    /// Building a graph the way the protocol does (dependencies always
-    /// point to *older* epochs of other threads) keeps it acyclic.
-    #[test]
-    fn protocol_shaped_dep_graphs_are_acyclic(
-        edges in prop::collection::vec((0usize..3, 0u64..20, 0usize..3, 0u64..20), 0..60),
-    ) {
+/// Building a graph the way the protocol does (dependencies always
+/// point to *older* epochs of other threads) keeps it acyclic.
+#[test]
+fn protocol_shaped_dep_graphs_are_acyclic() {
+    for case in 0..CASES {
+        let mut rng = case_rng(9, case);
+        let n = rng.index(60);
         let mut g = DepGraph::new();
-        for (t1, ts1, t2, ts2) in edges {
+        for _ in 0..n {
+            let t1 = rng.index(3);
+            let ts1 = rng.below(20);
+            let t2 = rng.index(3);
+            let ts2 = rng.below(20);
             if t1 == t2 {
                 continue;
             }
             // Protocol rule: a dependent epoch is created *after* the
             // source epoch closes; model by forcing source.ts <= dep.ts.
             let (src, dep) = if ts1 <= ts2 {
-                (EpochId::new(ThreadId(t1), ts1), EpochId::new(ThreadId(t2), ts2 + 1))
+                (
+                    EpochId::new(ThreadId(t1), ts1),
+                    EpochId::new(ThreadId(t2), ts2 + 1),
+                )
             } else {
-                (EpochId::new(ThreadId(t2), ts2), EpochId::new(ThreadId(t1), ts1 + 1))
+                (
+                    EpochId::new(ThreadId(t2), ts2),
+                    EpochId::new(ThreadId(t1), ts1 + 1),
+                )
             };
             g.add_cross_dep(dep, src);
         }
-        prop_assert!(g.topological_order().is_some(), "protocol-shaped graph must be a DAG");
+        assert!(
+            g.topological_order().is_some(),
+            "case {case}: protocol-shaped graph must be a DAG"
+        );
     }
 }

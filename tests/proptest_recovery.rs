@@ -1,11 +1,14 @@
-//! Property-based crash-consistency testing: random multi-threaded
+//! Randomized crash-consistency testing: random multi-threaded
 //! programs, random crash instants, machine-checked recovery (§VI
 //! Theorem 2), across all three recoverable models.
+//!
+//! Programs and crash instants come from the workspace's own [`DetRng`],
+//! seeded per case, so failures are reproducible from the printed case
+//! number.
 
 use asap::model::ops::{BurstCtx, BurstStatus, ThreadProgram};
 use asap::model::{Flavor, ModelKind, SimBuilder};
-use asap::sim::{Cycle, SimConfig};
-use proptest::prelude::*;
+use asap::sim::{Cycle, DetRng, SimConfig};
 
 /// A randomly generated instruction for the mini-programs.
 #[derive(Debug, Clone)]
@@ -18,15 +21,31 @@ enum Instr {
     Compute { cycles: u16 },
 }
 
-fn instr_strategy() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        4 => (any::<u8>(), any::<u64>()).prop_map(|(s, v)| Instr::Store { slot: s % 24, val: v }),
-        2 => any::<u8>().prop_map(|s| Instr::Load { slot: s % 24 }),
-        2 => Just(Instr::OFence),
-        1 => Just(Instr::DFence),
-        2 => any::<u8>().prop_map(|s| Instr::LockedIncrement { slot: s % 6 }),
-        1 => (1u16..300).prop_map(|c| Instr::Compute { cycles: c }),
-    ]
+/// Weighted instruction pick, mirroring the original generator's 4:2:2:1:2:1
+/// store/load/ofence/dfence/locked-inc/compute distribution.
+fn random_instr(rng: &mut DetRng) -> Instr {
+    match rng.below(12) {
+        0..=3 => Instr::Store {
+            slot: (rng.next_u64() % 24) as u8,
+            val: rng.next_u64(),
+        },
+        4..=5 => Instr::Load {
+            slot: (rng.next_u64() % 24) as u8,
+        },
+        6..=7 => Instr::OFence,
+        8 => Instr::DFence,
+        9..=10 => Instr::LockedIncrement {
+            slot: (rng.next_u64() % 6) as u8,
+        },
+        _ => Instr::Compute {
+            cycles: rng.range_inclusive(1, 299) as u16,
+        },
+    }
+}
+
+fn random_program(rng: &mut DetRng, min: usize, max: usize) -> Vec<Instr> {
+    let n = min + rng.index(max - min);
+    (0..n).map(|_| random_instr(rng)).collect()
 }
 
 const SHARED_BASE: u64 = 0x20_0000;
@@ -114,12 +133,13 @@ impl ThreadProgram for RandomProgram {
 }
 
 fn run_crash(
+    case: u64,
     model: ModelKind,
     flavor: Flavor,
     programs_src: &[Vec<Instr>],
     crash_at: u64,
     rt_entries: usize,
-) -> Result<(), TestCaseError> {
+) {
     let cfg = SimConfig::builder()
         .cores(programs_src.len())
         .rt_entries(rt_entries)
@@ -131,78 +151,127 @@ fn run_crash(
     }
     let mut sim = b.build();
     let report = sim.crash_at(Cycle(crash_at));
-    prop_assert!(
+    assert!(
         report.is_consistent(),
-        "{model}_{flavor} rt={rt_entries} crash@{crash_at}: {:?}",
+        "case {case}: {model}_{flavor} rt={rt_entries} crash@{crash_at}: {:?}",
         report.violations
     );
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    #[test]
-    fn asap_random_programs_recover_consistently(
-        p0 in prop::collection::vec(instr_strategy(), 5..60),
-        p1 in prop::collection::vec(instr_strategy(), 5..60),
-        crash_at in 500u64..120_000,
-    ) {
-        run_crash(ModelKind::Asap, Flavor::Release, &[p0, p1], crash_at, 32)?;
-    }
+fn case_rng(test: u64, case: u64) -> DetRng {
+    DetRng::seed(0x5EC0_4E4Au64 ^ (test << 32) ^ case)
+}
 
-    #[test]
-    fn asap_ep_random_programs_recover_consistently(
-        p0 in prop::collection::vec(instr_strategy(), 5..40),
-        p1 in prop::collection::vec(instr_strategy(), 5..40),
-        crash_at in 500u64..80_000,
-    ) {
-        run_crash(ModelKind::Asap, Flavor::Epoch, &[p0, p1], crash_at, 32)?;
-    }
-
-    #[test]
-    fn asap_tiny_rt_recovers_consistently(
-        p0 in prop::collection::vec(instr_strategy(), 5..40),
-        p1 in prop::collection::vec(instr_strategy(), 5..40),
-        crash_at in 500u64..80_000,
-        rt in 2usize..6,
-    ) {
-        run_crash(ModelKind::Asap, Flavor::Release, &[p0, p1], crash_at, rt)?;
-    }
-
-    #[test]
-    fn hops_random_programs_recover_consistently(
-        p0 in prop::collection::vec(instr_strategy(), 5..40),
-        p1 in prop::collection::vec(instr_strategy(), 5..40),
-        crash_at in 500u64..80_000,
-    ) {
-        run_crash(ModelKind::Hops, Flavor::Release, &[p0, p1], crash_at, 32)?;
-    }
-
-    #[test]
-    fn baseline_random_programs_recover_consistently(
-        p0 in prop::collection::vec(instr_strategy(), 5..40),
-        crash_at in 500u64..60_000,
-    ) {
-        run_crash(ModelKind::Baseline, Flavor::Release, &[p0], crash_at, 32)?;
-    }
-
-    #[test]
-    fn three_thread_lock_heavy_recovers(
-        seeds in prop::collection::vec(0u8..6, 12),
-        crash_at in 1_000u64..150_000,
-    ) {
-        // A lock-increment-heavy program stresses undo/delay collisions.
-        let prog: Vec<Instr> = seeds
-            .iter()
-            .map(|&s| Instr::LockedIncrement { slot: s })
-            .collect();
+#[test]
+fn asap_random_programs_recover_consistently() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let p0 = random_program(&mut rng, 5, 60);
+        let p1 = random_program(&mut rng, 5, 60);
+        let crash_at = rng.range_inclusive(500, 119_999);
         run_crash(
+            case,
+            ModelKind::Asap,
+            Flavor::Release,
+            &[p0, p1],
+            crash_at,
+            32,
+        );
+    }
+}
+
+#[test]
+fn asap_ep_random_programs_recover_consistently() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let p0 = random_program(&mut rng, 5, 40);
+        let p1 = random_program(&mut rng, 5, 40);
+        let crash_at = rng.range_inclusive(500, 79_999);
+        run_crash(
+            case,
+            ModelKind::Asap,
+            Flavor::Epoch,
+            &[p0, p1],
+            crash_at,
+            32,
+        );
+    }
+}
+
+#[test]
+fn asap_tiny_rt_recovers_consistently() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let p0 = random_program(&mut rng, 5, 40);
+        let p1 = random_program(&mut rng, 5, 40);
+        let crash_at = rng.range_inclusive(500, 79_999);
+        let rt = rng.range_inclusive(2, 5) as usize;
+        run_crash(
+            case,
+            ModelKind::Asap,
+            Flavor::Release,
+            &[p0, p1],
+            crash_at,
+            rt,
+        );
+    }
+}
+
+#[test]
+fn hops_random_programs_recover_consistently() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let p0 = random_program(&mut rng, 5, 40);
+        let p1 = random_program(&mut rng, 5, 40);
+        let crash_at = rng.range_inclusive(500, 79_999);
+        run_crash(
+            case,
+            ModelKind::Hops,
+            Flavor::Release,
+            &[p0, p1],
+            crash_at,
+            32,
+        );
+    }
+}
+
+#[test]
+fn baseline_random_programs_recover_consistently() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let p0 = random_program(&mut rng, 5, 60);
+        let crash_at = rng.range_inclusive(500, 59_999);
+        run_crash(
+            case,
+            ModelKind::Baseline,
+            Flavor::Release,
+            &[p0],
+            crash_at,
+            32,
+        );
+    }
+}
+
+#[test]
+fn three_thread_lock_heavy_recovers() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        // A lock-increment-heavy program stresses undo/delay collisions.
+        let prog: Vec<Instr> = (0..12)
+            .map(|_| Instr::LockedIncrement {
+                slot: rng.below(6) as u8,
+            })
+            .collect();
+        let crash_at = rng.range_inclusive(1_000, 149_999);
+        run_crash(
+            case,
             ModelKind::Asap,
             Flavor::Release,
             &[prog.clone(), prog.clone(), prog],
             crash_at,
             8,
-        )?;
+        );
     }
 }
