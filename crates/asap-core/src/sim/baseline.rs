@@ -11,20 +11,51 @@ use asap_pm_mem::WriteSeq;
 use asap_sim_core::{Cycle, EpochId, LineAddr, ThreadId};
 use std::collections::{HashMap, VecDeque};
 
+/// A dirty-line set that remembers first-store order, so fences issue
+/// their `clwb`s in program order. A plain `HashMap` here made flush
+/// order (and therefore WPQ coalescing counts) vary run to run via
+/// `RandomState` iteration — the one determinism leak the structural
+/// sweep-equivalence tests caught.
+#[derive(Default)]
+struct DirtySet {
+    index: HashMap<LineAddr, usize>,
+    lines: Vec<(LineAddr, u64)>,
+}
+
+impl DirtySet {
+    /// Record a store: new lines append, re-dirtied lines keep their
+    /// original flush position but track the latest write.
+    fn insert(&mut self, line: LineAddr, seq: u64) {
+        match self.index.get(&line) {
+            Some(&i) => self.lines[i].1 = seq,
+            None => {
+                self.index.insert(line, self.lines.len());
+                self.lines.push((line, seq));
+            }
+        }
+    }
+
+    /// Empty the set, yielding the lines in first-store order.
+    fn drain(&mut self) -> VecDeque<(LineAddr, u64)> {
+        self.index.clear();
+        self.lines.drain(..).collect()
+    }
+}
+
 pub(super) struct BaselineModel {
     /// Dirty lines of the current epoch → latest write (seq), per core.
-    sync_dirty: Vec<HashMap<LineAddr, u64>>,
+    sync_dirty: Vec<DirtySet>,
 }
 
 impl BaselineModel {
     pub(super) fn new(n: usize) -> BaselineModel {
         BaselineModel {
-            sync_dirty: (0..n).map(|_| HashMap::new()).collect(),
+            sync_dirty: (0..n).map(|_| DirtySet::default()).collect(),
         }
     }
 
     fn start_sync_fence(&mut self, eng: &mut Engine, t: usize, is_dfence: bool) {
-        let dirty: VecDeque<(LineAddr, u64)> = self.sync_dirty[t].drain().collect();
+        let dirty: VecDeque<(LineAddr, u64)> = self.sync_dirty[t].drain();
         if dirty.is_empty() {
             finish_sync_epoch(eng, t);
             eng.finish_op(t, Cycle(1));

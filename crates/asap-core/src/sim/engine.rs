@@ -126,6 +126,9 @@ pub(super) struct Engine {
     pub nack_filters: Vec<CountingBloom>,
     pub events_processed: u64,
     pub crashed: bool,
+    /// `ASAP_TRACE` sampled once at construction: reading the environment
+    /// per dispatched event costs more than dispatch itself.
+    pub trace: bool,
     /// Construction-time model capabilities (see
     /// [`PersistencyModel::uses_pb`] / `wants_background_flush`).
     pub uses_pb: bool,
@@ -172,7 +175,12 @@ impl Engine {
         let mcs = (0..cfg.num_mcs)
             .map(|i| MemController::new(McId(i), &cfg))
             .collect();
-        let mut queue = EventQueue::new();
+        // Pre-size the event queue to the steady-state population: each
+        // core keeps at most a step plus its in-flight flushes pending,
+        // each MC a handful of commit/reply messages. Sweeps run many
+        // thousands of sims; never re-growing the heap is measurable.
+        let cap = n * (cfg.pb_entries + 16) + cfg.num_mcs * 16;
+        let mut queue = EventQueue::with_capacity(cap);
         for i in 0..n {
             queue.push(Cycle::ZERO, Event::CoreStep(i));
         }
@@ -201,6 +209,7 @@ impl Engine {
             nack_filters,
             events_processed: 0,
             crashed: false,
+            trace: std::env::var_os("ASAP_TRACE").is_some(),
             uses_pb,
             flush_engine,
         };
@@ -233,7 +242,7 @@ impl Engine {
             let (t, ev) = self.queue.pop().expect("peeked");
             self.now = t;
             self.events_processed += 1;
-            if std::env::var_os("ASAP_TRACE").is_some() {
+            if self.trace {
                 eprintln!("[{}] {:?}", self.now, ev);
             }
             assert!(

@@ -190,6 +190,15 @@ impl Sim {
         &self.engine.stats
     }
 
+    /// Take ownership of the statistics block, leaving a zeroed one
+    /// behind. End-of-run extraction should prefer this over
+    /// `stats().clone()`: the block carries four occupancy histograms
+    /// whose clone is pure churn when the simulator is about to be
+    /// dropped anyway.
+    pub fn take_stats(&mut self) -> Stats {
+        std::mem::take(&mut self.engine.stats)
+    }
+
     /// The functional (program-visible) PM image.
     pub fn pm(&self) -> &PmSpace {
         &self.engine.pm

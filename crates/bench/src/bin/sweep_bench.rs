@@ -1,0 +1,88 @@
+//! `sweep_bench`: serial vs parallel wall clock of the Figure 8 sweep.
+//!
+//! Runs the exact production sweep (`fig08_specs`) twice — once as the
+//! old serial `for` loop, once through `pool::par_map` — cross-checks
+//! that every outcome is identical, and reports the speedup. Results
+//! are appended to stdout and written to `BENCH_sweep.json` so CI can
+//! archive the perf trajectory.
+//!
+//! ```text
+//! sweep_bench [--quick] [--threads N] [--out PATH]
+//! ```
+//!
+//! `--quick` uses the tests' quick scale (CI exercises the parallel
+//! path on every push without paying paper-scale minutes); the default
+//! is paper scale. `--threads N` pins the worker count.
+
+use asap_harness::experiments::{fig08_specs, ExperimentScale};
+use asap_harness::{pool, run_once, RunOutcome, RunSpec};
+use std::time::{Duration, Instant};
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    if let Some(n) = arg(&args, "--threads").and_then(|s| s.parse().ok()) {
+        pool::set_worker_override(n);
+    }
+    let out_path = arg(&args, "--out").unwrap_or_else(|| "BENCH_sweep.json".into());
+    let (scale_name, scale) = if quick {
+        ("quick", ExperimentScale::quick())
+    } else {
+        ("full", ExperimentScale::full())
+    };
+
+    let specs: Vec<RunSpec> = fig08_specs(scale);
+    let workers = pool::num_workers();
+    eprintln!(
+        "fig08 sweep: {} independent sims at {scale_name} scale, {workers} worker(s)",
+        specs.len()
+    );
+
+    let (serial, t_serial) = time(|| specs.iter().map(run_once).collect::<Vec<_>>());
+    let (parallel, t_par) = time(|| pool::par_map(&specs, run_once));
+
+    let diverged: Vec<usize> = serial
+        .iter()
+        .zip(&parallel)
+        .enumerate()
+        .filter(|(_, (a, b)): &(usize, (&RunOutcome, &RunOutcome))| a != b)
+        .map(|(i, _)| i)
+        .collect();
+    assert!(
+        diverged.is_empty(),
+        "parallel outcomes diverged from serial at spec indices {diverged:?}"
+    );
+
+    let speedup = t_serial.as_secs_f64() / t_par.as_secs_f64().max(1e-9);
+    println!(
+        "sweep            fig08 ({} sims, {scale_name} scale)",
+        specs.len()
+    );
+    println!("serial           {:>10.2?}", t_serial);
+    println!("parallel         {:>10.2?}  ({workers} workers)", t_par);
+    println!("speedup          {speedup:>10.2}x");
+    println!("outcomes         identical (serial vs parallel)");
+
+    let json = format!(
+        "{{\n  \"bench\": \"fig08_sweep\",\n  \"scale\": \"{scale_name}\",\n  \"sims\": {},\n  \"workers\": {workers},\n  \"serial_ms\": {:.3},\n  \"parallel_ms\": {:.3},\n  \"speedup\": {:.3},\n  \"outcomes_identical\": true\n}}\n",
+        specs.len(),
+        t_serial.as_secs_f64() * 1e3,
+        t_par.as_secs_f64() * 1e3,
+        speedup,
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_sweep.json");
+    eprintln!("wrote {out_path}");
+}

@@ -1,9 +1,13 @@
 //! Runs the DESIGN.md ablations: RT size, PB size, NVM latency, MC count.
+//! Each sweep fans out across all cores (`--threads N` or `ASAP_THREADS`
+//! to override); a wall-clock footer goes to stderr.
 use asap_harness::experiments::ablations;
 
 fn main() {
+    let t0 = std::time::Instant::now();
     let scale = asap_harness::cli_scale();
     for t in ablations(scale) {
         asap_harness::cli_emit(&t);
     }
+    asap_harness::cli_footer(t0);
 }

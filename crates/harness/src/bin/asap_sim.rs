@@ -77,6 +77,7 @@ fn main() {
         .build();
 
     eprintln!("simulating {workload} under {model}_{flavor} on {threads} threads, {ops} ops/thread (seed {seed})");
+    let t0 = std::time::Instant::now();
 
     if let Some(at) = crash_at {
         let report = sim.crash_at(Cycle(at));
@@ -128,4 +129,5 @@ fn main() {
         println!("rtMaxOccupancy           {}", sim.rt_max_occupancy());
         println!("mediaUtilization         {:.3}", sim.media_utilization());
     }
+    eprintln!("# wall-clock {:.3?}", t0.elapsed());
 }

@@ -1,8 +1,13 @@
 //! Regenerates Figure 2: epochs and cross-thread dependencies per window.
+//!
+//! The sweep fans out across all cores (`--threads N` or `ASAP_THREADS`
+//! to override); a wall-clock footer goes to stderr.
 use asap_harness::experiments::fig02_epochs;
 
 fn main() {
+    let t0 = std::time::Instant::now();
     let scale = asap_harness::cli_scale();
     let t = fig02_epochs(scale);
     asap_harness::cli_emit(&t);
+    asap_harness::cli_footer(t0);
 }

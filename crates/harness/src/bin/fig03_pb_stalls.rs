@@ -1,8 +1,13 @@
 //! Regenerates Figure 3: % cycles persist buffers blocked under HOPS.
+//!
+//! The sweep fans out across all cores (`--threads N` or `ASAP_THREADS`
+//! to override); a wall-clock footer goes to stderr.
 use asap_harness::experiments::fig03_pb_stalls;
 
 fn main() {
+    let t0 = std::time::Instant::now();
     let scale = asap_harness::cli_scale();
     let t = fig03_pb_stalls(scale);
     asap_harness::cli_emit(&t);
+    asap_harness::cli_footer(t0);
 }

@@ -1,9 +1,13 @@
 //! Regenerates Figure 8: speedup over baseline, plus the §VII-A summary.
+//! The sweep fans out across all cores (`--threads N` or `ASAP_THREADS`
+//! to override); a wall-clock footer goes to stderr.
 use asap_harness::experiments::{fig08_performance, fig08_summary};
 
 fn main() {
+    let t0 = std::time::Instant::now();
     let scale = asap_harness::cli_scale();
     let t = fig08_performance(scale);
     asap_harness::cli_emit(&t);
     asap_harness::cli_emit(&fig08_summary(&t));
+    asap_harness::cli_footer(t0);
 }

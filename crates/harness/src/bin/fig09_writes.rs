@@ -1,7 +1,12 @@
 //! Regenerates Figure 9: PM writes, ASAP normalized to HOPS.
+//!
+//! The sweep fans out across all cores (`--threads N` or `ASAP_THREADS`
+//! to override); a wall-clock footer goes to stderr.
 use asap_harness::experiments::fig09_writes;
 
 fn main() {
+    let t0 = std::time::Instant::now();
     let scale = asap_harness::cli_scale();
     asap_harness::cli_emit(&fig09_writes(scale));
+    asap_harness::cli_footer(t0);
 }

@@ -1,7 +1,12 @@
 //! Regenerates Figure 10: core-count scaling, HOPS vs ASAP.
+//!
+//! The sweep fans out across all cores (`--threads N` or `ASAP_THREADS`
+//! to override); a wall-clock footer goes to stderr.
 use asap_harness::experiments::fig10_scaling;
 
 fn main() {
+    let t0 = std::time::Instant::now();
     let scale = asap_harness::cli_scale();
     asap_harness::cli_emit(&fig10_scaling(scale));
+    asap_harness::cli_footer(t0);
 }

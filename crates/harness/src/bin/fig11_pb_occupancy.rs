@@ -1,7 +1,12 @@
 //! Regenerates Figure 11: persist-buffer occupancy avg/p99.
+//!
+//! The sweep fans out across all cores (`--threads N` or `ASAP_THREADS`
+//! to override); a wall-clock footer goes to stderr.
 use asap_harness::experiments::fig11_pb_occupancy;
 
 fn main() {
+    let t0 = std::time::Instant::now();
     let scale = asap_harness::cli_scale();
     asap_harness::cli_emit(&fig11_pb_occupancy(scale));
+    asap_harness::cli_footer(t0);
 }

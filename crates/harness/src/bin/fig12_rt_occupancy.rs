@@ -1,7 +1,12 @@
 //! Regenerates Figure 12: recovery-table max occupancy, 4 vs 8 threads.
+//!
+//! The sweep fans out across all cores (`--threads N` or `ASAP_THREADS`
+//! to override); a wall-clock footer goes to stderr.
 use asap_harness::experiments::fig12_rt_occupancy;
 
 fn main() {
+    let t0 = std::time::Instant::now();
     let scale = asap_harness::cli_scale();
     asap_harness::cli_emit(&fig12_rt_occupancy(scale));
+    asap_harness::cli_footer(t0);
 }

@@ -1,7 +1,12 @@
 //! Regenerates Figure 13: write-bandwidth utilization microbenchmark.
+//!
+//! The sweep fans out across all cores (`--threads N` or `ASAP_THREADS`
+//! to override); a wall-clock footer goes to stderr.
 use asap_harness::experiments::fig13_bandwidth;
 
 fn main() {
+    let t0 = std::time::Instant::now();
     let scale = asap_harness::cli_scale();
     asap_harness::cli_emit(&fig13_bandwidth(scale));
+    asap_harness::cli_footer(t0);
 }

@@ -5,6 +5,7 @@ use asap_harness::experiments::{stats_txt, ExperimentScale};
 use asap_workloads::WorkloadKind;
 
 fn main() {
+    let t0 = std::time::Instant::now();
     let args: Vec<String> = std::env::args().collect();
     let w: WorkloadKind = args
         .get(1)
@@ -19,4 +20,5 @@ fn main() {
         .map(|s| s.parse().expect("flavor name"))
         .unwrap_or(Flavor::Release);
     print!("{}", stats_txt(model, flavor, w, ExperimentScale::quick()));
+    eprintln!("# wall-clock {:.3?}", t0.elapsed());
 }

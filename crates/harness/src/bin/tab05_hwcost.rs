@@ -1,5 +1,8 @@
 //! Regenerates Table V (hardware cost) and the §VII-D drain comparison.
+//! Analytic (no simulation sweep), so no parallel fan-out is involved.
 fn main() {
+    let t0 = std::time::Instant::now();
     asap_harness::cli_emit(&asap_harness::hwcost::table5());
     asap_harness::cli_emit(&asap_harness::hwcost::drain_comparison(32));
+    asap_harness::cli_footer(t0);
 }

@@ -3,7 +3,14 @@
 //! Every function returns a [`Table`] whose rows correspond to the bars /
 //! series of the original figure. All runs are deterministic given the
 //! seed embedded in [`ExperimentScale`].
+//!
+//! Each function follows the same two-phase shape: build the flat
+//! `Vec<RunSpec>` for the whole sweep, fan it out through
+//! [`pool::par_map`], then assemble rows from the outcomes by index.
+//! Outcomes come back in spec order and each run is deterministic, so
+//! the tables are byte-identical to what the old serial loops produced.
 
+use crate::pool;
 use crate::report::{f2, Table};
 use crate::runner::{run_once, run_window, RunOutcome, RunSpec};
 use asap_core::{Flavor, ModelKind};
@@ -23,7 +30,8 @@ pub struct ExperimentScale {
 }
 
 impl ExperimentScale {
-    /// Fast settings for tests and Criterion benches.
+    /// Fast settings for tests and the self-timed benches in
+    /// `crates/bench`.
     pub fn quick() -> ExperimentScale {
         ExperimentScale {
             ops: 60,
@@ -33,7 +41,7 @@ impl ExperimentScale {
     }
 
     /// Paper-scale settings for report generation (minutes of wall
-    /// clock).
+    /// clock on one core; the sweeps parallelize across all of them).
     pub fn full() -> ExperimentScale {
         ExperimentScale {
             ops: 600,
@@ -64,6 +72,15 @@ pub fn figure_workloads() -> Vec<WorkloadKind> {
     WorkloadKind::all().to_vec()
 }
 
+/// The figure workloads minus the Fig. 13 bandwidth microbenchmark —
+/// the per-workload bar charts (Figures 8–12) all skip it.
+fn bar_chart_workloads() -> Vec<WorkloadKind> {
+    figure_workloads()
+        .into_iter()
+        .filter(|&w| w != WorkloadKind::Bandwidth)
+        .collect()
+}
+
 // -------------------------------------------------------------------
 // Figure 2
 // -------------------------------------------------------------------
@@ -83,17 +100,22 @@ pub fn fig02_epochs(scale: ExperimentScale) -> Table {
             "cross_deps_ep",
         ],
     );
-    for w in figure_workloads() {
-        // Measured under HOPS, like the paper's methodology (§III runs
-        // the dependency study with HOPS): a dependency is counted when
-        // the source epoch is still in flight, and HOPS's conservative
-        // commit timing is what exposes them.
-        let mut s = spec(ModelKind::Hops, Flavor::Release, w, scale);
-        s.ops_per_thread = u64::MAX / 2; // never finish inside the window
-        let rp = run_window(&s, scale.window);
-        let mut s = spec(ModelKind::Hops, Flavor::Epoch, w, scale);
-        s.ops_per_thread = u64::MAX / 2;
-        let ep = run_window(&s, scale.window);
+    // Measured under HOPS, like the paper's methodology (§III runs the
+    // dependency study with HOPS): a dependency is counted when the
+    // source epoch is still in flight, and HOPS's conservative commit
+    // timing is what exposes them.
+    let specs: Vec<RunSpec> = figure_workloads()
+        .into_iter()
+        .flat_map(|w| {
+            [
+                spec(ModelKind::Hops, Flavor::Release, w, scale).windowed(),
+                spec(ModelKind::Hops, Flavor::Epoch, w, scale).windowed(),
+            ]
+        })
+        .collect();
+    let outs = pool::par_map(&specs, |s| run_window(s, scale.window));
+    for (w, pair) in figure_workloads().iter().zip(outs.chunks_exact(2)) {
+        let (rp, ep) = (&pair[0], &pair[1]);
         t.push_row(vec![
             w.label().into(),
             rp.stats.epochs_created.to_string(),
@@ -116,10 +138,14 @@ pub fn fig03_pb_stalls(scale: ExperimentScale) -> Table {
         "Figure 3: % of cycles persist buffers are blocked (HOPS_RP)",
         &["workload", "blocked_pct"],
     );
+    let specs: Vec<RunSpec> = figure_workloads()
+        .into_iter()
+        .map(|w| spec(ModelKind::Hops, Flavor::Release, w, scale))
+        .collect();
+    let outs = pool::par_map(&specs, run_once);
     let mut total = 0.0;
     let mut n = 0;
-    for w in figure_workloads() {
-        let out = run_once(&spec(ModelKind::Hops, Flavor::Release, w, scale));
+    for (w, out) in figure_workloads().iter().zip(&outs) {
         let threads = SimConfig::paper().num_cores as f64;
         let pct = 100.0 * out.stats.cycles_blocked as f64 / (out.cycles as f64 * threads);
         total += pct;
@@ -143,6 +169,21 @@ const FIG8_MODELS: [(&str, ModelKind, Flavor); 6] = [
     ("eadr", ModelKind::Eadr, Flavor::Release),
 ];
 
+/// The flat spec list behind Figure 8: every (workload, model) pair of
+/// the paper's headline sweep, in row-major order. Exposed so
+/// `sweep_bench` and the parallel/serial equivalence tests can drive the
+/// exact production sweep.
+pub fn fig08_specs(scale: ExperimentScale) -> Vec<RunSpec> {
+    bar_chart_workloads()
+        .into_iter()
+        .flat_map(|w| {
+            FIG8_MODELS
+                .iter()
+                .map(move |&(_, m, f)| spec(m, f, w, scale))
+        })
+        .collect()
+}
+
 /// Figure 8: speedup over the Intel baseline for every model and
 /// workload in a 4-core, 2-MC system.
 pub fn fig08_performance(scale: ExperimentScale) -> Table {
@@ -152,20 +193,18 @@ pub fn fig08_performance(scale: ExperimentScale) -> Table {
             "workload", "baseline", "hops_ep", "hops_rp", "asap_ep", "asap_rp", "eadr",
         ],
     );
+    let specs = fig08_specs(scale);
+    let outs = pool::par_map(&specs, run_once);
     let mut sums = [0.0f64; 6];
     let mut n = 0;
-    for w in figure_workloads() {
-        if w == WorkloadKind::Bandwidth {
-            continue;
-        }
-        let cycles: Vec<u64> = FIG8_MODELS
-            .iter()
-            .map(|&(_, m, f)| run_once(&spec(m, f, w, scale)).cycles)
-            .collect();
-        let base = cycles[0] as f64;
+    for (w, models) in bar_chart_workloads()
+        .iter()
+        .zip(outs.chunks_exact(FIG8_MODELS.len()))
+    {
+        let base = models[0].cycles as f64;
         let mut row = vec![w.label().to_string()];
-        for (i, &c) in cycles.iter().enumerate() {
-            let speedup = base / c as f64;
+        for (i, out) in models.iter().enumerate() {
+            let speedup = base / out.cycles as f64;
             sums[i] += speedup;
             row.push(f2(speedup));
         }
@@ -228,15 +267,21 @@ pub fn fig09_writes(scale: ExperimentScale) -> Table {
             "undo_reads_per_100_writes",
         ],
     );
+    let specs: Vec<RunSpec> = bar_chart_workloads()
+        .into_iter()
+        .flat_map(|w| {
+            [
+                spec(ModelKind::Hops, Flavor::Release, w, scale),
+                spec(ModelKind::Asap, Flavor::Release, w, scale),
+            ]
+        })
+        .collect();
+    let outs = pool::par_map(&specs, run_once);
     let mut norm_sum = 0.0;
     let mut read_sum = 0.0;
     let mut n = 0;
-    for w in figure_workloads() {
-        if w == WorkloadKind::Bandwidth {
-            continue;
-        }
-        let h = run_once(&spec(ModelKind::Hops, Flavor::Release, w, scale));
-        let a = run_once(&spec(ModelKind::Asap, Flavor::Release, w, scale));
+    for (w, pair) in bar_chart_workloads().iter().zip(outs.chunks_exact(2)) {
+        let (h, a) = (&pair[0], &pair[1]);
         let norm = a.media_writes as f64 / h.media_writes.max(1) as f64;
         let extra_reads = a.stats.nvm_reads.saturating_sub(h.stats.nvm_reads) as f64;
         let dreads = 100.0 * extra_reads / a.media_writes.max(1) as f64;
@@ -281,33 +326,40 @@ pub fn fig10_scaling(scale: ExperimentScale) -> Table {
             "asap_skiplist",
         ],
     );
-    let workloads = figure_workloads();
-    let tput = |model, w, threads: usize| -> f64 {
+    let workloads = bar_chart_workloads();
+    let thread_counts = [1usize, 2, 4, 8];
+    let spec_t = |model, w, threads: usize| -> RunSpec {
         let mut s = spec(model, Flavor::Release, w, scale);
         s.config = SimConfig::builder().cores(threads).build().expect("valid");
-        let out = run_once(&s);
-        out.ops as f64 / out.cycles as f64
+        s
     };
-    // Baselines: 1-thread HOPS throughput per workload.
-    let base: Vec<f64> = workloads
+    // Baselines (1-thread HOPS per workload) first, then the HOPS/ASAP
+    // pair for every (thread count, workload) cell.
+    let mut specs: Vec<RunSpec> = workloads
         .iter()
-        .filter(|&&w| w != WorkloadKind::Bandwidth)
-        .map(|&w| tput(ModelKind::Hops, w, 1))
+        .map(|&w| spec_t(ModelKind::Hops, w, 1))
         .collect();
-    for &threads in &[1usize, 2, 4, 8] {
+    for &threads in &thread_counts {
+        for &w in &workloads {
+            specs.push(spec_t(ModelKind::Hops, w, threads));
+            specs.push(spec_t(ModelKind::Asap, w, threads));
+        }
+    }
+    let outs = pool::par_map(&specs, run_once);
+    let tput = |o: &RunOutcome| o.ops as f64 / o.cycles as f64;
+    let base: Vec<f64> = outs[..workloads.len()].iter().map(tput).collect();
+    let mut idx = workloads.len();
+    for &threads in &thread_counts {
         let mut hops_sum = 0.0;
         let mut asap_sum = 0.0;
         let mut hops_part = 0.0;
         let mut asap_part = 0.0;
         let mut hops_sl = 0.0;
         let mut asap_sl = 0.0;
-        for (i, &w) in workloads
-            .iter()
-            .filter(|&&w| w != WorkloadKind::Bandwidth)
-            .enumerate()
-        {
-            let h = tput(ModelKind::Hops, w, threads) / base[i];
-            let a = tput(ModelKind::Asap, w, threads) / base[i];
+        for (i, &w) in workloads.iter().enumerate() {
+            let h = tput(&outs[idx]) / base[i];
+            let a = tput(&outs[idx + 1]) / base[i];
+            idx += 2;
             hops_sum += h;
             asap_sum += a;
             if w == WorkloadKind::PArt {
@@ -344,12 +396,18 @@ pub fn fig11_pb_occupancy(scale: ExperimentScale) -> Table {
         "Figure 11: PB occupancy (avg and p99), HOPS vs ASAP",
         &["workload", "hops_avg", "hops_p99", "asap_avg", "asap_p99"],
     );
-    for w in figure_workloads() {
-        if w == WorkloadKind::Bandwidth {
-            continue;
-        }
-        let h = run_once(&spec(ModelKind::Hops, Flavor::Release, w, scale));
-        let a = run_once(&spec(ModelKind::Asap, Flavor::Release, w, scale));
+    let specs: Vec<RunSpec> = bar_chart_workloads()
+        .into_iter()
+        .flat_map(|w| {
+            [
+                spec(ModelKind::Hops, Flavor::Release, w, scale),
+                spec(ModelKind::Asap, Flavor::Release, w, scale),
+            ]
+        })
+        .collect();
+    let outs = pool::par_map(&specs, run_once);
+    for (w, pair) in bar_chart_workloads().iter().zip(outs.chunks_exact(2)) {
+        let (h, a) = (&pair[0], &pair[1]);
         t.push_row(vec![
             w.label().into(),
             f2(h.stats.pb_occupancy.mean()),
@@ -371,19 +429,21 @@ pub fn fig12_rt_occupancy(scale: ExperimentScale) -> Table {
         "Figure 12: recovery table max occupancy (ASAP_RP)",
         &["workload", "rt_max_4t", "rt_max_8t"],
     );
-    for w in figure_workloads() {
-        if w == WorkloadKind::Bandwidth {
-            continue;
-        }
-        let run_with = |threads: usize| -> usize {
-            let mut s = spec(ModelKind::Asap, Flavor::Release, w, scale);
-            s.config = SimConfig::builder().cores(threads).build().expect("valid");
-            run_once(&s).rt_max_occupancy
-        };
+    let spec_t = |w, threads: usize| -> RunSpec {
+        let mut s = spec(ModelKind::Asap, Flavor::Release, w, scale);
+        s.config = SimConfig::builder().cores(threads).build().expect("valid");
+        s
+    };
+    let specs: Vec<RunSpec> = bar_chart_workloads()
+        .into_iter()
+        .flat_map(|w| [spec_t(w, 4), spec_t(w, 8)])
+        .collect();
+    let outs = pool::par_map(&specs, run_once);
+    for (w, pair) in bar_chart_workloads().iter().zip(outs.chunks_exact(2)) {
         t.push_row(vec![
             w.label().into(),
-            run_with(4).to_string(),
-            run_with(8).to_string(),
+            pair[0].rt_max_occupancy.to_string(),
+            pair[1].rt_max_occupancy.to_string(),
         ]);
     }
     t
@@ -400,19 +460,26 @@ pub fn fig13_bandwidth(scale: ExperimentScale) -> Table {
         "Figure 13: system write-bandwidth utilization (256B ofence-ordered writes across 2 MCs)",
         &["model", "utilization_pct", "cycles"],
     );
-    for (name, m, f) in [
+    const MODELS: [(&str, ModelKind, Flavor); 4] = [
         ("baseline", ModelKind::Baseline, Flavor::Release),
         ("hops", ModelKind::Hops, Flavor::Release),
         ("asap", ModelKind::Asap, Flavor::Release),
         ("eadr", ModelKind::Eadr, Flavor::Release),
-    ] {
-        // One thread isolates ordering cost from raw demand: with many
-        // threads every design saturates the media and the figure's
-        // contrast vanishes.
-        let mut s = spec(m, f, WorkloadKind::Bandwidth, scale);
-        s.config = SimConfig::builder().cores(1).build().expect("valid");
-        s.ops_per_thread = scale.ops * 4;
-        let out = run_once(&s);
+    ];
+    let specs: Vec<RunSpec> = MODELS
+        .iter()
+        .map(|&(_, m, f)| {
+            // One thread isolates ordering cost from raw demand: with many
+            // threads every design saturates the media and the figure's
+            // contrast vanishes.
+            let mut s = spec(m, f, WorkloadKind::Bandwidth, scale);
+            s.config = SimConfig::builder().cores(1).build().expect("valid");
+            s.ops_per_thread = scale.ops * 4;
+            s
+        })
+        .collect();
+    let outs = pool::par_map(&specs, run_once);
+    for (&(name, _, _), out) in MODELS.iter().zip(&outs) {
         t.push_row(vec![
             name.into(),
             f2(out.media_utilization * 100.0),
@@ -432,10 +499,17 @@ pub fn abl_rt_size(scale: ExperimentScale) -> Table {
         "Ablation: recovery-table size (ASAP_RP, cceh)",
         &["rt_entries", "cycles", "nacks", "tot_spec_writes"],
     );
-    for rt in [4usize, 8, 16, 32, 64] {
-        let mut s = spec(ModelKind::Asap, Flavor::Release, WorkloadKind::Cceh, scale);
-        s.config = SimConfig::builder().rt_entries(rt).build().expect("valid");
-        let out = run_once(&s);
+    let sizes = [4usize, 8, 16, 32, 64];
+    let specs: Vec<RunSpec> = sizes
+        .iter()
+        .map(|&rt| {
+            let mut s = spec(ModelKind::Asap, Flavor::Release, WorkloadKind::Cceh, scale);
+            s.config = SimConfig::builder().rt_entries(rt).build().expect("valid");
+            s
+        })
+        .collect();
+    let outs = pool::par_map(&specs, run_once);
+    for (&rt, out) in sizes.iter().zip(&outs) {
         t.push_row(vec![
             rt.to_string(),
             out.cycles.to_string(),
@@ -452,10 +526,17 @@ pub fn abl_pb_size(scale: ExperimentScale) -> Table {
         "Ablation: persist-buffer size (ASAP_RP, cceh)",
         &["pb_entries", "cycles", "cyclesStalled"],
     );
-    for pb in [4usize, 8, 16, 32, 64] {
-        let mut s = spec(ModelKind::Asap, Flavor::Release, WorkloadKind::Cceh, scale);
-        s.config = SimConfig::builder().pb_entries(pb).build().expect("valid");
-        let out = run_once(&s);
+    let sizes = [4usize, 8, 16, 32, 64];
+    let specs: Vec<RunSpec> = sizes
+        .iter()
+        .map(|&pb| {
+            let mut s = spec(ModelKind::Asap, Flavor::Release, WorkloadKind::Cceh, scale);
+            s.config = SimConfig::builder().pb_entries(pb).build().expect("valid");
+            s
+        })
+        .collect();
+    let outs = pool::par_map(&specs, run_once);
+    for (&pb, out) in sizes.iter().zip(&outs) {
         t.push_row(vec![
             pb.to_string(),
             out.cycles.to_string(),
@@ -479,19 +560,25 @@ pub fn abl_nvm_bw(scale: ExperimentScale) -> Table {
             "asap_over_hops",
         ],
     );
-    for ns in [45u64, 90, 180, 360] {
-        let mk = |m| {
-            let mut s = spec(m, Flavor::Release, WorkloadKind::Bandwidth, scale);
-            s.config = SimConfig::builder()
-                .cores(1)
-                .nvm_write_ns(ns)
-                .build()
-                .expect("valid");
-            s.ops_per_thread = scale.ops * 4;
-            run_once(&s).cycles
-        };
-        let h = mk(ModelKind::Hops);
-        let a = mk(ModelKind::Asap);
+    let lats = [45u64, 90, 180, 360];
+    let specs: Vec<RunSpec> = lats
+        .iter()
+        .flat_map(|&ns| {
+            [ModelKind::Hops, ModelKind::Asap].map(|m| {
+                let mut s = spec(m, Flavor::Release, WorkloadKind::Bandwidth, scale);
+                s.config = SimConfig::builder()
+                    .cores(1)
+                    .nvm_write_ns(ns)
+                    .build()
+                    .expect("valid");
+                s.ops_per_thread = scale.ops * 4;
+                s
+            })
+        })
+        .collect();
+    let outs = pool::par_map(&specs, run_once);
+    for (&ns, pair) in lats.iter().zip(outs.chunks_exact(2)) {
+        let (h, a) = (pair[0].cycles, pair[1].cycles);
         t.push_row(vec![
             ns.to_string(),
             h.to_string(),
@@ -509,21 +596,27 @@ pub fn abl_mc_count(scale: ExperimentScale) -> Table {
         "Ablation: memory-controller count (bandwidth microbenchmark)",
         &["mcs", "hops_cycles", "asap_cycles", "asap_over_hops"],
     );
-    for mcs in [1usize, 2, 4] {
-        let mk = |m| {
-            // One thread isolates the cross-MC ordering cost (§III); with
-            // more threads every design saturates the media.
-            let mut s = spec(m, Flavor::Release, WorkloadKind::Bandwidth, scale);
-            s.config = SimConfig::builder()
-                .cores(1)
-                .mcs(mcs)
-                .build()
-                .expect("valid");
-            s.ops_per_thread = scale.ops * 4;
-            run_once(&s).cycles
-        };
-        let h = mk(ModelKind::Hops);
-        let a = mk(ModelKind::Asap);
+    let counts = [1usize, 2, 4];
+    let specs: Vec<RunSpec> = counts
+        .iter()
+        .flat_map(|&mcs| {
+            [ModelKind::Hops, ModelKind::Asap].map(|m| {
+                // One thread isolates the cross-MC ordering cost (§III);
+                // with more threads every design saturates the media.
+                let mut s = spec(m, Flavor::Release, WorkloadKind::Bandwidth, scale);
+                s.config = SimConfig::builder()
+                    .cores(1)
+                    .mcs(mcs)
+                    .build()
+                    .expect("valid");
+                s.ops_per_thread = scale.ops * 4;
+                s
+            })
+        })
+        .collect();
+    let outs = pool::par_map(&specs, run_once);
+    for (&mcs, pair) in counts.iter().zip(outs.chunks_exact(2)) {
+        let (h, a) = (pair[0].cycles, pair[1].cycles);
         t.push_row(vec![
             mcs.to_string(),
             h.to_string(),
@@ -604,6 +697,19 @@ mod tests {
     }
 
     #[test]
+    fn fig08_specs_cover_models_by_workload() {
+        let specs = fig08_specs(tiny());
+        assert_eq!(specs.len(), bar_chart_workloads().len() * FIG8_MODELS.len());
+        // Row-major: the first chunk is all six models of the first
+        // workload, in FIG8_MODELS column order.
+        for (s, &(_, m, f)) in specs.iter().zip(FIG8_MODELS.iter()) {
+            assert_eq!(s.workload, bar_chart_workloads()[0]);
+            assert_eq!(s.model, m);
+            assert_eq!(s.flavor, f);
+        }
+    }
+
+    #[test]
     fn fig02_window_counts_epochs() {
         let s = ExperimentScale {
             ops: 0,
@@ -611,8 +717,7 @@ mod tests {
             seed: 1,
         };
         // Only two workloads to keep the test fast: build a table inline.
-        let mut spec_rp = spec(ModelKind::Asap, Flavor::Release, WorkloadKind::Cceh, s);
-        spec_rp.ops_per_thread = u64::MAX / 2;
+        let spec_rp = spec(ModelKind::Asap, Flavor::Release, WorkloadKind::Cceh, s).windowed();
         let rp = run_window(&spec_rp, s.window);
         assert!(rp.stats.epochs_created > 0);
         assert!(!rp.all_done);

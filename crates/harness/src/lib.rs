@@ -6,6 +6,12 @@
 //! binaries in `src/bin/` are thin CLI wrappers that print the tables
 //! (markdown to stdout, optionally CSV).
 //!
+//! Every sweep first builds a flat `Vec<RunSpec>` and then fans it out
+//! across the [`pool`] executor (all cores by default; `ASAP_THREADS`
+//! or `--threads N` to override). Each simulation is deterministic and
+//! results are collected in input order, so the emitted tables are
+//! byte-identical to a serial run — only the wall clock changes.
+//!
 //! | entry point | paper artefact |
 //! |---|---|
 //! | [`experiments::fig02_epochs`] | Fig. 2 — epochs & cross-thread deps per 1 ms |
@@ -43,6 +49,7 @@
 
 pub mod experiments;
 pub mod hwcost;
+pub mod pool;
 mod report;
 mod runner;
 
@@ -51,7 +58,9 @@ pub use runner::{run_once, run_roi, run_window, RunOutcome, RunSpec};
 
 /// Parse the shared CLI convention of the harness binaries:
 /// `--full` selects paper-scale runs (default: quick), `--seed N`
-/// overrides the RNG seed.
+/// overrides the RNG seed, and `--threads N` pins the sweep worker
+/// count (default: `ASAP_THREADS` or all available cores; see
+/// [`pool::num_workers`]).
 pub fn cli_scale() -> experiments::ExperimentScale {
     let args: Vec<String> = std::env::args().collect();
     let mut scale = if args.iter().any(|a| a == "--full") {
@@ -64,7 +73,22 @@ pub fn cli_scale() -> experiments::ExperimentScale {
             scale.seed = s;
         }
     }
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        if let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+            pool::set_worker_override(n);
+        }
+    }
     scale
+}
+
+/// Print a wall-clock footer for a sweep binary on stderr (stdout stays
+/// clean for piped table output), seeding per-figure timing visibility.
+pub fn cli_footer(started: std::time::Instant) {
+    eprintln!(
+        "# wall-clock {:.3?} on {} worker(s)",
+        started.elapsed(),
+        pool::num_workers()
+    );
 }
 
 /// Emit a result table per the shared CLI convention: markdown to stdout,

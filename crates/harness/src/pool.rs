@@ -1,0 +1,176 @@
+//! Zero-dependency parallel sweep executor.
+//!
+//! Regenerating the paper's figures is embarrassingly parallel: Figure 8
+//! alone is 13 workloads × 6 (model, flavour) configs of fully
+//! independent, deterministic simulations. [`par_map`] fans a flat slice
+//! of jobs out across [`std::thread::scope`] workers and returns the
+//! results **in input order**, so every table assembled from the
+//! outcomes is byte-identical to what a serial `for` loop produces —
+//! only the wall clock changes.
+//!
+//! Scheduling is a shared atomic cursor: each worker repeatedly claims
+//! the next unclaimed index and runs it. That gives dynamic load
+//! balancing (long sims do not convoy short ones behind a fixed
+//! pre-partition) with none of the machinery of a real work-stealing
+//! deque — sweeps have no nested parallelism to steal from.
+//!
+//! Worker count resolution, in priority order:
+//! 1. an explicit [`par_map_with`] argument (tests pin 1/2/N),
+//! 2. a process-wide override set by [`set_worker_override`]
+//!    (the binaries' `--threads N` flag),
+//! 3. the `ASAP_THREADS` environment variable,
+//! 4. [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Process-wide worker-count override (0 = unset). See [`set_worker_override`].
+static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pin the worker count for every subsequent [`par_map`] in this
+/// process (the harness binaries wire `--threads N` here). `0` clears
+/// the override.
+pub fn set_worker_override(n: usize) {
+    WORKER_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The worker count [`par_map`] will use: the
+/// [`set_worker_override`] value if set, else `ASAP_THREADS` if set to a
+/// positive integer, else [`std::thread::available_parallelism`].
+pub fn num_workers() -> usize {
+    let o = WORKER_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    if let Some(n) = std::env::var("ASAP_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Apply `f` to every item, running up to [`num_workers`] jobs
+/// concurrently; results come back in input order regardless of which
+/// worker finished first.
+///
+/// A panic inside `f` propagates to the caller once all workers have
+/// stopped, exactly as it would from a serial loop.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_with(items, num_workers(), f)
+}
+
+/// [`par_map`] with an explicit worker count (clamped to
+/// `1..=items.len()`). `workers == 1` degenerates to the plain serial
+/// loop on the calling thread — no threads are spawned.
+pub fn par_map_with<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let done = Mutex::new(Vec::with_capacity(items.len()));
+    thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                // Claim-run-repeat, buffering results locally so the
+                // mutex is taken once per worker, not once per job.
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(&items[i])));
+                }
+                done.lock().expect("no poisoned worker").extend(local);
+            });
+        }
+    });
+
+    let mut slots: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    for (i, u) in done.into_inner().expect("workers joined") {
+        debug_assert!(slots[i].is_none(), "index {i} claimed twice");
+        slots[i] = Some(u);
+    }
+    slots
+        .into_iter()
+        .map(|o| o.expect("every index claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let out = par_map_with(&items, workers, |&x| x * 3);
+            let expect: Vec<u64> = items.iter().map(|&x| x * 3).collect();
+            assert_eq!(out, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[41], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn uneven_job_lengths_still_ordered() {
+        // Long jobs first: a naive collect-in-completion-order scheme
+        // would return these scrambled.
+        let items: Vec<u64> = (0..64).rev().collect();
+        let out = par_map_with(&items, 4, |&x| {
+            let mut acc = 0u64;
+            for i in 0..(x * 1000) {
+                acc = acc.wrapping_add(i ^ acc.rotate_left(7));
+            }
+            (x, acc).0
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn worker_count_resolution() {
+        assert!(num_workers() >= 1);
+        set_worker_override(3);
+        assert_eq!(num_workers(), 3);
+        set_worker_override(0);
+        assert!(num_workers() >= 1);
+    }
+
+    #[test]
+    fn panic_in_job_propagates() {
+        let items: Vec<u32> = (0..16).collect();
+        let r = std::panic::catch_unwind(|| {
+            par_map_with(&items, 4, |&x| {
+                if x == 7 {
+                    panic!("job 7 failed");
+                }
+                x
+            })
+        });
+        assert!(r.is_err(), "worker panic must reach the caller");
+    }
+}

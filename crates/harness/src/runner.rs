@@ -23,8 +23,28 @@ pub struct RunSpec {
     pub seed: u64,
 }
 
+impl RunSpec {
+    /// Ops-per-thread sentinel for windowed runs: far larger than any
+    /// window can retire, yet far from `u64::MAX` so per-thread offset
+    /// arithmetic in the workload generators cannot overflow.
+    pub const NEVER_FINISH: u64 = u64::MAX / 2;
+
+    /// Convert this spec into the windowed form used with
+    /// [`run_window`]: the thread programs are sized to
+    /// [`RunSpec::NEVER_FINISH`] so no thread retires inside the
+    /// measurement window and the window length alone decides what is
+    /// observed (Figure 2's 1 ms methodology).
+    pub fn windowed(mut self) -> RunSpec {
+        self.ops_per_thread = Self::NEVER_FINISH;
+        self
+    }
+}
+
 /// Metrics extracted from one finished (or truncated) run.
-#[derive(Debug, Clone)]
+///
+/// Runs are deterministic, so two outcomes of the same [`RunSpec`]
+/// compare equal — the property the parallel-sweep tests pin down.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunOutcome {
     /// End time in cycles.
     pub cycles: u64,
@@ -59,15 +79,18 @@ fn build_sim(spec: &RunSpec) -> asap_core::Sim {
         .build()
 }
 
-fn outcome(sim: &asap_core::Sim, all_done: bool) -> RunOutcome {
+fn outcome(sim: &mut asap_core::Sim, all_done: bool) -> RunOutcome {
+    // The simulator is done measuring: move the stats out instead of
+    // cloning the histograms (visible on multi-thousand-run sweeps).
+    let stats = sim.take_stats();
     RunOutcome {
         cycles: sim.now().raw(),
-        ops: sim.stats().ops_completed,
-        stats: sim.stats().clone(),
+        ops: stats.ops_completed,
         rt_max_occupancy: sim.rt_max_occupancy(),
         media_writes: sim.media_writes(),
         media_utilization: sim.media_utilization(),
         all_done,
+        stats,
     }
 }
 
@@ -75,16 +98,16 @@ fn outcome(sim: &asap_core::Sim, all_done: bool) -> RunOutcome {
 pub fn run_once(spec: &RunSpec) -> RunOutcome {
     let mut sim = build_sim(spec);
     let out = sim.run_to_completion();
-    outcome(&sim, out.all_done)
+    outcome(&mut sim, out.all_done)
 }
 
 /// Run for a fixed simulated window (Figure 2 uses 1 ms) and collect
 /// metrics; the workload is sized by `spec.ops_per_thread` and should be
-/// large enough not to finish early.
+/// large enough not to finish early (see [`RunSpec::windowed`]).
 pub fn run_window(spec: &RunSpec, window: Cycle) -> RunOutcome {
     let mut sim = build_sim(spec);
     let out = sim.run_for(window);
-    outcome(&sim, out.all_done)
+    outcome(&mut sim, out.all_done)
 }
 
 /// Run with a warmup region: simulate `warmup` cycles, reset the
@@ -96,8 +119,9 @@ pub fn run_roi(spec: &RunSpec, warmup: Cycle) -> RunOutcome {
     sim.reset_stats();
     let start = sim.now();
     let out = sim.run_to_completion();
-    let mut o = outcome(&sim, out.all_done);
-    o.cycles = sim.now().raw().saturating_sub(start.raw());
+    let end = sim.now();
+    let mut o = outcome(&mut sim, out.all_done);
+    o.cycles = end.raw().saturating_sub(start.raw());
     o
 }
 
@@ -127,11 +151,17 @@ mod tests {
 
     #[test]
     fn run_window_truncates() {
-        let mut s = spec(ModelKind::Asap, WorkloadKind::Cceh);
-        s.ops_per_thread = 100_000; // will not finish in the window
+        let s = spec(ModelKind::Asap, WorkloadKind::Cceh).windowed();
         let out = run_window(&s, Cycle(20_000));
         assert!(!out.all_done);
         assert!(out.cycles <= 20_000);
+    }
+
+    #[test]
+    fn windowed_sets_sentinel() {
+        let s = spec(ModelKind::Asap, WorkloadKind::Cceh).windowed();
+        assert_eq!(s.ops_per_thread, RunSpec::NEVER_FINISH);
+        assert_eq!(RunSpec::NEVER_FINISH, u64::MAX / 2);
     }
 
     #[test]
@@ -148,7 +178,6 @@ mod tests {
     fn same_spec_same_outcome() {
         let a = run_once(&spec(ModelKind::Hops, WorkloadKind::PClht));
         let b = run_once(&spec(ModelKind::Hops, WorkloadKind::PClht));
-        assert_eq!(a.cycles, b.cycles);
-        assert_eq!(a.media_writes, b.media_writes);
+        assert_eq!(a, b, "identical specs must give identical outcomes");
     }
 }

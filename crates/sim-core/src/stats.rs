@@ -160,7 +160,9 @@ impl RunningStat {
 ///
 /// Field names are snake_case versions of the paper's camelCase stat
 /// names; [`Stats::snapshot`] renders them under the original names.
-#[derive(Debug, Clone, Default)]
+/// `PartialEq` lets the parallel-sweep equivalence tests compare whole
+/// run outcomes structurally.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Stats {
     // ---- Table VI stats ----
     /// Cycles for which persist buffers were unable to flush
