@@ -1,0 +1,180 @@
+//! Glue from the workload suite to the two analysis passes.
+//!
+//! [`lint_workload`] / [`lint_all_workloads`] run the static lint over
+//! the streams a workload generates; [`race_check_workload`] runs a real
+//! timing simulation with the journal on and hands the result to
+//! `asap_core::race`. Both apply the built-in waiver table
+//! ([`crate::waivers::BUILTIN_WAIVERS`]), so their reports correspond
+//! exactly to what the CI gate enforces.
+
+use crate::extract::extract_streams;
+use crate::lint::{lint_streams, Finding, LintOptions, Severity};
+use crate::report::{LintRun, WorkloadLintReport};
+use crate::waivers::{self, Waiver};
+use asap_core::{RaceReport, SimBuilder};
+use asap_sim_core::{Flavor, ModelKind, SimConfig};
+use asap_workloads::{make_workload, WorkloadKind, WorkloadParams};
+
+/// Parameters for an analysis run over the workload suite.
+#[derive(Debug, Clone)]
+pub struct AnalysisParams {
+    /// Threads (programs) per workload.
+    pub threads: usize,
+    /// Logical operations per thread.
+    pub ops_per_thread: u64,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Persistency flavor (segmentation for lint, simulation for races).
+    pub flavor: Flavor,
+    /// Model simulated for the race pass (lint never simulates).
+    pub model: ModelKind,
+    /// Burst budget for static extraction.
+    pub max_bursts: u64,
+}
+
+impl Default for AnalysisParams {
+    fn default() -> AnalysisParams {
+        AnalysisParams {
+            threads: 2,
+            ops_per_thread: 12,
+            seed: 7,
+            flavor: Flavor::Release,
+            model: ModelKind::Asap,
+            max_bursts: 2_000_000,
+        }
+    }
+}
+
+impl AnalysisParams {
+    fn workload_params(&self) -> WorkloadParams {
+        WorkloadParams {
+            threads: self.threads,
+            ops_per_thread: self.ops_per_thread,
+            seed: self.seed,
+            ..WorkloadParams::default()
+        }
+    }
+}
+
+/// Statically lint one workload; waivers already applied.
+pub fn lint_workload(kind: WorkloadKind, p: &AnalysisParams) -> WorkloadLintReport {
+    lint_workload_with(kind, p, waivers::BUILTIN_WAIVERS)
+}
+
+/// Statically lint one workload under an explicit waiver table.
+pub fn lint_workload_with(
+    kind: WorkloadKind,
+    p: &AnalysisParams,
+    waivers: &[Waiver],
+) -> WorkloadLintReport {
+    let mut programs = make_workload(kind, &p.workload_params());
+    let extracted = extract_streams(&mut programs, p.max_bursts);
+    let findings = lint_streams(&extracted.streams, &LintOptions { flavor: p.flavor });
+    let (findings, waived) = waivers::partition(findings, kind.label(), waivers);
+    WorkloadLintReport {
+        workload: kind.label().to_string(),
+        flavor: p.flavor,
+        threads: programs.len(),
+        micro_ops: extracted.total_ops(),
+        complete: extracted.complete,
+        findings,
+        waived,
+    }
+}
+
+/// Lint the whole Table III suite (14 workloads) in figure order.
+pub fn lint_all_workloads(p: &AnalysisParams) -> LintRun {
+    LintRun {
+        reports: WorkloadKind::all()
+            .into_iter()
+            .map(|k| lint_workload(k, p))
+            .collect(),
+    }
+}
+
+/// Simulate one workload with the journal enabled and run the
+/// happens-before persist-race detector over the result.
+pub fn race_check_workload(kind: WorkloadKind, p: &AnalysisParams) -> RaceReport {
+    let mut cfg = SimConfig::paper();
+    cfg.num_cores = cfg.num_cores.max(p.threads);
+    let programs = make_workload(kind, &p.workload_params());
+    let mut sim = SimBuilder::new(cfg, p.model, p.flavor)
+        .programs(programs)
+        .with_journal()
+        .build();
+    sim.run_to_completion();
+    sim.race_check()
+}
+
+/// Render a race report as lint-style findings (rule `persist-race`,
+/// severity error), so race results flow through the same waiver and
+/// report machinery as the static lint.
+pub fn race_findings(report: &RaceReport) -> Vec<Finding> {
+    report
+        .races
+        .iter()
+        .map(|r| Finding {
+            rule: "persist-race",
+            severity: Severity::Error,
+            thread: r.first.epoch.thread.0,
+            op_index: r.first.seq as usize,
+            epoch_ts: r.first.epoch.ts,
+            line: Some(r.line),
+            message: r.to_string(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> AnalysisParams {
+        AnalysisParams {
+            ops_per_thread: 6,
+            ..AnalysisParams::default()
+        }
+    }
+
+    #[test]
+    fn lints_a_real_workload_end_to_end() {
+        let report = lint_workload(WorkloadKind::Cceh, &quick());
+        assert_eq!(report.workload, "cceh");
+        assert!(report.complete, "extraction hit the burst budget");
+        assert!(report.micro_ops > 0);
+        assert_eq!(report.threads, 2);
+    }
+
+    #[test]
+    fn race_checks_a_real_workload_end_to_end() {
+        let report = race_check_workload(WorkloadKind::Queue, &quick());
+        assert!(report.epochs_with_writes > 0);
+        assert!(report.is_clean(), "unexpected races: {:?}", report.races);
+    }
+
+    #[test]
+    fn whole_suite_lints_clean_under_builtin_waivers() {
+        let run = lint_all_workloads(&AnalysisParams::default());
+        assert_eq!(run.reports.len(), 14);
+        for r in &run.reports {
+            assert!(r.complete, "{} hit the burst budget", r.workload);
+            assert!(
+                r.is_clean(),
+                "{} has unwaived findings: {:?}",
+                r.workload,
+                r.findings
+            );
+        }
+        // The waivers are not a blanket pass: echo needs none at all.
+        let echo = run.reports.iter().find(|r| r.workload == "echo").unwrap();
+        assert!(echo.waived.is_empty());
+        assert!(run.total_waived() > 0);
+    }
+
+    #[test]
+    fn race_findings_map_onto_lint_findings() {
+        let report = race_check_workload(WorkloadKind::Queue, &quick());
+        let fs = race_findings(&report);
+        assert_eq!(fs.len(), report.races.len());
+    }
+}

@@ -1,0 +1,212 @@
+//! Waivers: acknowledged findings that should not fail CI.
+//!
+//! A [`Waiver`] matches findings by `(workload, rule)` — `"*"` matches
+//! any workload — and carries the reason the finding is considered
+//! benign. Waived findings still appear in reports (annotated
+//! `#[allow(persist_lint::<rule>)]`-style) so they stay visible; they
+//! just do not trip the `--deny-warnings` gate.
+//!
+//! [`BUILTIN_WAIVERS`] is the shipped table for the 14 Table III
+//! workloads. Every entry covers one of two *intentional* patterns:
+//!
+//! * **final drain at retire** — every workload issues a defensive
+//!   `dfence` just before its thread retires. Each logical operation
+//!   already ends in `dfence`, so the drain usually has nothing left to
+//!   do and `useless-fence` flags it; it stays because a program should
+//!   not rely on its last mutating operation having fenced.
+//! * **flavor-portable barriers** — the CAS-based structures (CCEH,
+//!   Dash-EH, P-ART) follow a publishing CAS with `ofence`. Under
+//!   release persistency the CAS's release already closed the epoch, so
+//!   the `ofence` closes an empty one; under epoch persistency the same
+//!   `ofence` is the *only* barrier. The source targets both flavors.
+//!
+//! Editing the workloads to silence these would change their micro-op
+//! streams and with them every pinned golden timing fixture, for no
+//! behavioural gain — the definition of a waiver, not a fix.
+
+use crate::lint::Finding;
+
+/// One acknowledged finding pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Waiver {
+    /// Workload label the waiver applies to, or `"*"` for all.
+    pub workload: &'static str,
+    /// Rule id the waiver applies to (e.g. `missing-persist`, or
+    /// `persist-race` for the race detector).
+    pub rule: &'static str,
+    /// Why the finding is benign.
+    pub reason: &'static str,
+}
+
+impl Waiver {
+    /// Whether this waiver covers `finding` in `workload`.
+    pub fn matches(&self, workload: &str, finding: &Finding) -> bool {
+        (self.workload == "*" || self.workload == workload) && self.rule == finding.rule
+    }
+}
+
+/// Reason for the defensive `dfence` every workload issues at retire.
+const FINAL_DRAIN: &str = "deliberate final drain at thread retire; each logical op \
+     already ends in dfence, so it usually has nothing to do";
+
+/// Reason for `ofence` after a publishing CAS in the lock-free
+/// structures.
+const PORTABLE_BARRIER: &str = "flavor-portable barrier: the CAS's release already closes the \
+     epoch under release persistency, but the ofence is the only \
+     barrier under epoch persistency; plus the final drain at retire";
+
+/// The shipped waiver table (see the module docs for the two patterns).
+pub const BUILTIN_WAIVERS: &[Waiver] = &[
+    Waiver {
+        workload: "cceh",
+        rule: "useless-fence",
+        reason: PORTABLE_BARRIER,
+    },
+    Waiver {
+        workload: "dash-eh",
+        rule: "useless-fence",
+        reason: PORTABLE_BARRIER,
+    },
+    Waiver {
+        workload: "p-art",
+        rule: "useless-fence",
+        reason: PORTABLE_BARRIER,
+    },
+    Waiver {
+        workload: "nstore",
+        rule: "useless-fence",
+        reason: FINAL_DRAIN,
+    },
+    Waiver {
+        workload: "vacation",
+        rule: "useless-fence",
+        reason: FINAL_DRAIN,
+    },
+    Waiver {
+        workload: "memcached",
+        rule: "useless-fence",
+        reason: FINAL_DRAIN,
+    },
+    Waiver {
+        workload: "heap",
+        rule: "useless-fence",
+        reason: FINAL_DRAIN,
+    },
+    Waiver {
+        workload: "queue",
+        rule: "useless-fence",
+        reason: FINAL_DRAIN,
+    },
+    Waiver {
+        workload: "skiplist",
+        rule: "useless-fence",
+        reason: FINAL_DRAIN,
+    },
+    Waiver {
+        workload: "fast_fair",
+        rule: "useless-fence",
+        reason: FINAL_DRAIN,
+    },
+    Waiver {
+        workload: "dash-lh",
+        rule: "useless-fence",
+        reason: FINAL_DRAIN,
+    },
+    Waiver {
+        workload: "p-clht",
+        rule: "useless-fence",
+        reason: FINAL_DRAIN,
+    },
+    Waiver {
+        workload: "p-masstree",
+        rule: "useless-fence",
+        reason: FINAL_DRAIN,
+    },
+];
+
+/// Split findings into (active, waived-with-reason) under `waivers`.
+pub fn partition(
+    findings: Vec<Finding>,
+    workload: &str,
+    waivers: &[Waiver],
+) -> (Vec<Finding>, Vec<(Finding, String)>) {
+    let mut active = Vec::new();
+    let mut waived = Vec::new();
+    for f in findings {
+        match waivers.iter().find(|w| w.matches(workload, &f)) {
+            Some(w) => waived.push((f, w.reason.to_string())),
+            None => active.push(f),
+        }
+    }
+    (active, waived)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::Severity;
+
+    fn finding(rule: &'static str) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Warning,
+            thread: 0,
+            op_index: 0,
+            epoch_ts: 0,
+            line: None,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn waiver_matches_by_workload_and_rule() {
+        let w = Waiver {
+            workload: "cceh",
+            rule: "useless-fence",
+            reason: "r",
+        };
+        assert!(w.matches("cceh", &finding("useless-fence")));
+        assert!(!w.matches("echo", &finding("useless-fence")));
+        assert!(!w.matches("cceh", &finding("missing-persist")));
+        let any = Waiver {
+            workload: "*",
+            rule: "useless-fence",
+            reason: "r",
+        };
+        assert!(any.matches("echo", &finding("useless-fence")));
+    }
+
+    #[test]
+    fn partition_splits_and_carries_reason() {
+        let waivers = [Waiver {
+            workload: "*",
+            rule: "redundant-flush",
+            reason: "known benign",
+        }];
+        let (active, waived) = partition(
+            vec![finding("redundant-flush"), finding("missing-persist")],
+            "cceh",
+            &waivers,
+        );
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].rule, "missing-persist");
+        assert_eq!(waived.len(), 1);
+        assert_eq!(waived[0].1, "known benign");
+    }
+
+    #[test]
+    fn builtin_table_rules_reference_real_rules() {
+        let known: Vec<_> = crate::rules::default_rules()
+            .iter()
+            .map(|r| r.id())
+            .chain(std::iter::once("persist-race"))
+            .collect();
+        for w in BUILTIN_WAIVERS {
+            assert!(
+                known.contains(&w.rule),
+                "waiver references unknown rule {}",
+                w.rule
+            );
+        }
+    }
+}

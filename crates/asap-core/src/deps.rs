@@ -41,6 +41,18 @@ pub struct DepGraph {
     max_ts: HashMap<ThreadId, u64>,
     committed: HashSet<EpochId>,
     nodes: HashSet<EpochId>,
+    /// Monotonic registration/commit clock. The simulator is
+    /// single-threaded, so "epoch A committed before epoch B was even
+    /// created" is a sound real-time ordering witness: every write of A
+    /// was durable before any write of B executed. The persist-race
+    /// detector uses it to suppress pairs the dependency edges alone
+    /// cannot order (edges are only recorded when the hardware needs
+    /// them — an already-committed source epoch never gets one).
+    clock: u64,
+    /// Clock value at which each epoch was first registered.
+    created_at: HashMap<EpochId, u64>,
+    /// Clock value at which each epoch committed.
+    committed_at: HashMap<EpochId, u64>,
 }
 
 impl DepGraph {
@@ -56,6 +68,8 @@ impl DepGraph {
             if e.ts > *m {
                 *m = e.ts;
             }
+            self.clock += 1;
+            self.created_at.insert(e, self.clock);
         }
     }
 
@@ -70,7 +84,10 @@ impl DepGraph {
     /// Mark an epoch committed.
     pub fn mark_committed(&mut self, e: EpochId) {
         self.ensure(e);
-        self.committed.insert(e);
+        if self.committed.insert(e) {
+            self.clock += 1;
+            self.committed_at.insert(e, self.clock);
+        }
     }
 
     /// Whether an epoch committed before the end of the run.
@@ -91,6 +108,46 @@ impl DepGraph {
     /// Whether the graph is empty.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// All registered epochs (unordered).
+    pub fn nodes(&self) -> impl Iterator<Item = &EpochId> {
+        self.nodes.iter()
+    }
+
+    /// Recorded cross-thread dependencies of `e` (excluding the implicit
+    /// same-thread predecessor).
+    pub fn cross_deps_of(&self, e: EpochId) -> &[EpochId] {
+        self.cross.get(&e).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Registration-clock stamp of `e` (see the `clock` field), if `e`
+    /// was ever registered.
+    pub fn creation_stamp(&self, e: EpochId) -> Option<u64> {
+        self.created_at.get(&e).copied()
+    }
+
+    /// Commit-clock stamp of `e`, if `e` committed.
+    pub fn commit_stamp(&self, e: EpochId) -> Option<u64> {
+        self.committed_at.get(&e).copied()
+    }
+
+    /// Current value of the registration/commit clock. The engine stamps
+    /// each journalled write's execution instant with this value so the
+    /// race detector can compare "epoch committed" against "write
+    /// executed" in real time.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Real-time ordering witness: `a` had committed before `b` was even
+    /// registered, so all of `a`'s writes were durable before any write
+    /// of `b` executed (let alone persisted).
+    pub fn committed_before_creation(&self, a: EpochId, b: EpochId) -> bool {
+        match (self.commit_stamp(a), self.creation_stamp(b)) {
+            (Some(ca), Some(cb)) => ca < cb,
+            _ => false,
+        }
     }
 
     /// Direct dependencies of `e`: its same-thread predecessor (if any)
@@ -236,6 +293,33 @@ mod tests {
         g.ensure(ep(3, 0));
         assert!(g.direct_deps(ep(3, 0)).is_empty());
         assert!(g.transitive_deps(ep(3, 0)).is_empty());
+    }
+
+    #[test]
+    fn stamps_order_creation_and_commit() {
+        let mut g = DepGraph::new();
+        g.ensure(ep(0, 0));
+        g.mark_committed(ep(0, 0));
+        g.ensure(ep(1, 0));
+        // (0,0) committed before (1,0) existed: ordering witness holds
+        // one way and not the other.
+        assert!(g.committed_before_creation(ep(0, 0), ep(1, 0)));
+        assert!(!g.committed_before_creation(ep(1, 0), ep(0, 0)));
+        // An uncommitted epoch never witnesses.
+        assert!(!g.committed_before_creation(ep(1, 0), ep(0, 0)));
+        assert!(g.creation_stamp(ep(0, 0)).unwrap() < g.commit_stamp(ep(0, 0)).unwrap());
+        assert_eq!(g.commit_stamp(ep(1, 0)), None);
+    }
+
+    #[test]
+    fn nodes_and_cross_deps_accessors() {
+        let mut g = DepGraph::new();
+        g.add_cross_dep(ep(1, 1), ep(0, 3));
+        let mut ns: Vec<EpochId> = g.nodes().copied().collect();
+        ns.sort();
+        assert_eq!(ns, vec![ep(0, 3), ep(1, 1)]);
+        assert_eq!(g.cross_deps_of(ep(1, 1)), &[ep(0, 3)]);
+        assert!(g.cross_deps_of(ep(0, 3)).is_empty());
     }
 
     #[test]

@@ -80,13 +80,14 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod deps;
 pub mod et;
 pub mod ops;
 pub mod oracle;
 pub mod pb;
+pub mod race;
 mod sim;
 
 pub use deps::DepGraph;
@@ -94,6 +95,7 @@ pub use et::{EpochStatus, EpochTable};
 pub use ops::{BurstCtx, BurstStatus, MemOp, ThreadProgram};
 pub use oracle::CrashReport;
 pub use pb::{PbEntry, PbEntryState, PersistBuffer};
+pub use race::{RaceFinding, RaceReport};
 pub use sim::{Sim, SimBuilder, SimOutcome};
 
 // Re-export the model/flavor selectors where users expect them.

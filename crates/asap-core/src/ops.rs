@@ -46,6 +46,15 @@ pub enum MemOp {
         /// Whole-line contents after the store.
         data: Box<LineSnapshot>,
     },
+    /// An explicit line flush hint (`clwb`-style). Persist-buffer
+    /// designs flush eagerly on their own, so the hint carries no
+    /// ordering semantics in the timing model — it exists so flush-based
+    /// code (the `clwb` + `sfence` idiom) can be expressed in the IR and
+    /// statically checked by `asap-analysis`'s `persist_lint` pass.
+    Flush {
+        /// Byte address whose cache line the hint covers.
+        addr: u64,
+    },
     /// An `ofence`: a two-sided persist barrier separating epochs
     /// (paper §IV-A).
     OFence,
@@ -88,6 +97,7 @@ impl MemOp {
         match self {
             MemOp::Load { addr }
             | MemOp::Store { addr, .. }
+            | MemOp::Flush { addr }
             | MemOp::Acquire { addr, .. }
             | MemOp::Release { addr, .. } => Some(LineAddr::containing(*addr)),
             _ => None,
@@ -250,6 +260,12 @@ impl<'a> BurstCtx<'a> {
         self.pm.write_u64(addr, v);
         let (seq, data) = self.journal_store(addr);
         self.ops.push(MemOp::Release { addr, seq, data });
+    }
+
+    /// Emit an explicit flush hint for the line containing `addr` (see
+    /// [`MemOp::Flush`]).
+    pub fn flush(&mut self, addr: u64) {
+        self.ops.push(MemOp::Flush { addr });
     }
 
     /// Emit a two-sided persist barrier.
@@ -443,6 +459,21 @@ mod tests {
         let (ops, _, _) = ctx.into_parts();
         assert!(ops.is_empty());
         assert_eq!(j.entries().len(), 0);
+    }
+
+    #[test]
+    fn flush_is_a_pure_hint() {
+        let (mut pm, mut j) = ctx_fixture();
+        let mut ctx = BurstCtx::new(&mut pm, &mut j);
+        ctx.store_u64(0x600, 1);
+        ctx.flush(0x600);
+        let (ops, _, _) = ctx.into_parts();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[1], MemOp::Flush { addr: 0x600 });
+        assert!(!ops[1].is_store());
+        assert_eq!(ops[1].line(), Some(LineAddr::containing(0x600)));
+        // No functional effect and no journal entry beyond the store's.
+        assert_eq!(j.entries().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,365 @@
+//! Happens-before persist-race detection over the write journal.
+//!
+//! The [`oracle`](crate::oracle) verifies the state a crash *actually*
+//! produced; this pass verifies the states a crash *could have*
+//! produced. Two persists to the same cache line from different threads
+//! are a **persist race** when nothing orders their durability: the
+//! post-crash image may then hold either value, and which one the
+//! recovery code sees depends on where the crash happens to land — a
+//! class of bug end-state spot checks only catch if the crash window is
+//! hit (cf. the ordering-violation taxonomy of Loose-Ordering
+//! Consistency and FliT's flush-correctness checking).
+//!
+//! ## Construction
+//!
+//! Happens-before is built as per-epoch **vector clocks** from the two
+//! artefacts every journalled run already records:
+//!
+//! * per-thread program order — fences advance the thread's epoch
+//!   timestamp, which *is* its local clock; epoch `(t, k)` implicitly
+//!   depends on `(t, k-1)`;
+//! * cross-thread dependency edges — created by CDR / coherence /
+//!   acquire-release resolution and recorded in the [`DepGraph`].
+//!
+//! Dependency edges are only recorded when the hardware needs them: an
+//! access whose source epoch is already durable creates no edge. Those
+//! pairs are ordered in real time even though no graph path connects
+//! them, so the detector additionally consults the graph's
+//! registration/commit clock ([`DepGraph::committed_before_creation`])
+//! and counts such pairs as *suppressed* rather than racy.
+//!
+//! A reported race is therefore "no recorded ordering" — it is real in
+//! the IR unless the workload intends last-writer-wins semantics for
+//! that line (blind counters, logs with external sequencing), which is
+//! what the waiver mechanism in `asap-analysis` is for.
+
+use crate::deps::DepGraph;
+use asap_pm_mem::WriteJournal;
+use asap_sim_core::{EpochId, LineAddr};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// One side of a flagged persist race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceEndpoint {
+    /// Epoch the write executed in.
+    pub epoch: EpochId,
+    /// Journal sequence of the epoch's last write to the line.
+    pub seq: u64,
+}
+
+/// Two same-line persists unordered by happens-before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceFinding {
+    /// The contested cache line.
+    pub line: LineAddr,
+    /// The write that is earlier in coherence (journal-sequence) order.
+    pub first: RaceEndpoint,
+    /// The later write. `first` and `second` are on different threads.
+    pub second: RaceEndpoint,
+}
+
+impl fmt::Display for RaceFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "persist race on {}: {} (seq {}) vs {} (seq {}) are unordered",
+            self.line, self.first.epoch, self.first.seq, self.second.epoch, self.second.seq
+        )
+    }
+}
+
+/// Result of a [`race_check`] pass.
+#[derive(Debug, Clone, Default)]
+pub struct RaceReport {
+    /// Unordered conflicting persists, sorted by (line, first seq).
+    pub races: Vec<RaceFinding>,
+    /// Whether the dependency graph contained a cycle (protocol bug;
+    /// vector clocks are then meaningless and no races are computed).
+    pub cycle: bool,
+    /// Distinct cache lines with at least one journalled write.
+    pub lines_checked: usize,
+    /// Cross-thread same-line pairs examined.
+    pub pairs_checked: u64,
+    /// Pairs with no graph path that were nevertheless ordered in real
+    /// time (source epoch committed before the other epoch existed).
+    pub suppressed_by_commit_order: u64,
+    /// Epochs carrying at least one executed write.
+    pub epochs_with_writes: usize,
+}
+
+impl RaceReport {
+    /// Whether no race (and no cycle) was found.
+    pub fn is_clean(&self) -> bool {
+        self.races.is_empty() && !self.cycle
+    }
+}
+
+/// Per-epoch vector clocks; `clock[t] == k` means epochs `(t, 0..k)`
+/// happen-before (or are) this epoch.
+type Clock = Vec<u64>;
+
+fn join(into: &mut Clock, other: &Clock) {
+    for (a, &b) in into.iter_mut().zip(other) {
+        if b > *a {
+            *a = b;
+        }
+    }
+}
+
+/// `a` happens-before (or is) `b` under the computed clocks.
+fn hb(clocks: &HashMap<EpochId, Clock>, a: EpochId, b: EpochId) -> bool {
+    clocks
+        .get(&b)
+        .is_some_and(|c| c.get(a.thread.0).copied().unwrap_or(0) > a.ts)
+}
+
+/// Flag conflicting persists to the same cache line that are unordered
+/// by happens-before. See the module docs for the relation construction.
+pub fn race_check(journal: &WriteJournal, deps: &DepGraph) -> RaceReport {
+    let mut report = RaceReport::default();
+    let Some(order) = deps.topological_order() else {
+        report.cycle = true;
+        return report;
+    };
+
+    let threads = order.iter().map(|e| e.thread.0 + 1).max().unwrap_or(0).max(
+        journal
+            .entries()
+            .iter()
+            .filter_map(|e| e.epoch.map(|ep| ep.thread.0 + 1))
+            .max()
+            .unwrap_or(0),
+    );
+
+    // Vector clock per epoch, in dependency order: join the clocks of
+    // every direct dependency, then tick the local component.
+    let mut clocks: HashMap<EpochId, Clock> = HashMap::with_capacity(order.len());
+    for &e in &order {
+        let mut c = vec![0u64; threads];
+        for d in deps.direct_deps(e) {
+            if let Some(dc) = clocks.get(&d) {
+                join(&mut c, dc);
+            }
+        }
+        if let Some(slot) = c.get_mut(e.thread.0) {
+            *slot = (*slot).max(e.ts + 1);
+        }
+        clocks.insert(e, c);
+    }
+
+    // Last executed write per (line, epoch), in a deterministic order.
+    let mut writers: BTreeMap<u64, Vec<(EpochId, u64)>> = BTreeMap::new();
+    let mut per_line_epoch: HashMap<(u64, EpochId), u64> = HashMap::new();
+    for entry in journal.entries() {
+        let Some(epoch) = entry.epoch else {
+            continue; // never executed in the timing domain
+        };
+        let key = (entry.line.byte_addr(), epoch);
+        let s = per_line_epoch.entry(key).or_insert(entry.seq.0);
+        if entry.seq.0 > *s {
+            *s = entry.seq.0;
+        }
+    }
+    let mut epochs_seen: std::collections::HashSet<EpochId> = std::collections::HashSet::new();
+    for (&(line, epoch), &seq) in &per_line_epoch {
+        writers.entry(line).or_default().push((epoch, seq));
+        epochs_seen.insert(epoch);
+    }
+    report.epochs_with_writes = epochs_seen.len();
+    report.lines_checked = writers.len();
+
+    for (&line, list) in writers.iter_mut() {
+        // Coherence (journal-sequence) order within the line.
+        list.sort_by_key(|&(_, seq)| seq);
+        for i in 0..list.len() {
+            for j in (i + 1)..list.len() {
+                let (e1, s1) = list[i];
+                let (e2, s2) = list[j];
+                if e1.thread == e2.thread {
+                    continue; // program order
+                }
+                report.pairs_checked += 1;
+                if hb(&clocks, e1, e2) || hb(&clocks, e2, e1) {
+                    continue;
+                }
+                // Real-time witnesses: one epoch was durable before the
+                // other side's write even executed. Dependency edges are
+                // only recorded when the hardware still needs them, so
+                // these pairs have no graph path yet cannot produce an
+                // ambiguous post-crash state.
+                let committed_before_exec = |a: EpochId, other_seq: u64| match (
+                    deps.commit_stamp(a),
+                    journal.exec_clock_of(asap_pm_mem::WriteSeq(other_seq)),
+                ) {
+                    (Some(c), Some(x)) => c <= x,
+                    _ => false,
+                };
+                if deps.committed_before_creation(e1, e2)
+                    || deps.committed_before_creation(e2, e1)
+                    || committed_before_exec(e1, s2)
+                    || committed_before_exec(e2, s1)
+                {
+                    report.suppressed_by_commit_order += 1;
+                    continue;
+                }
+                report.races.push(RaceFinding {
+                    line: LineAddr::containing(line),
+                    first: RaceEndpoint { epoch: e1, seq: s1 },
+                    second: RaceEndpoint { epoch: e2, seq: s2 },
+                });
+            }
+        }
+    }
+    report
+        .races
+        .sort_by_key(|r| (r.line.byte_addr(), r.first.seq, r.second.seq));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_sim_core::ThreadId;
+
+    fn ep(t: usize, ts: u64) -> EpochId {
+        EpochId::new(ThreadId(t), ts)
+    }
+
+    fn la(i: u64) -> LineAddr {
+        LineAddr::containing(i * 64)
+    }
+
+    /// Journal with (thread, epoch_ts, line_idx) writes, epochs assigned.
+    fn journal(writes: &[(usize, u64, u64)]) -> WriteJournal {
+        let mut j = WriteJournal::enabled();
+        for &(t, ts, line) in writes {
+            let s = j.record(la(line), [0u8; 64]);
+            j.assign_epoch(s, ep(t, ts));
+        }
+        j
+    }
+
+    #[test]
+    fn unordered_cross_thread_writes_race() {
+        let j = journal(&[(0, 0, 7), (1, 0, 7)]);
+        let mut g = DepGraph::new();
+        g.ensure(ep(0, 0));
+        g.ensure(ep(1, 0));
+        let r = race_check(&j, &g);
+        assert_eq!(r.races.len(), 1);
+        assert!(!r.is_clean());
+        let f = &r.races[0];
+        assert_eq!(f.line, la(7));
+        assert_eq!(f.first.epoch, ep(0, 0));
+        assert_eq!(f.second.epoch, ep(1, 0));
+        assert_eq!(r.pairs_checked, 1);
+    }
+
+    #[test]
+    fn cross_dep_orders_the_pair() {
+        let j = journal(&[(0, 0, 7), (1, 1, 7)]);
+        let mut g = DepGraph::new();
+        // (1,1) depends on (0,0): persist order is guaranteed.
+        g.add_cross_dep(ep(1, 1), ep(0, 0));
+        let r = race_check(&j, &g);
+        assert!(r.is_clean(), "{:?}", r.races);
+        assert_eq!(r.pairs_checked, 1);
+    }
+
+    #[test]
+    fn transitive_ordering_counts() {
+        // (0,0) -> (1,0) -> (2,0) orders (0,0)'s write before (2,0)'s.
+        let j = journal(&[(0, 0, 3), (2, 0, 3)]);
+        let mut g = DepGraph::new();
+        g.add_cross_dep(ep(1, 0), ep(0, 0));
+        g.add_cross_dep(ep(2, 0), ep(1, 0));
+        let r = race_check(&j, &g);
+        assert!(r.is_clean(), "{:?}", r.races);
+    }
+
+    #[test]
+    fn commit_before_creation_suppresses() {
+        let mut j = WriteJournal::enabled();
+        let mut g = DepGraph::new();
+        g.ensure(ep(0, 0));
+        let s0 = j.record(la(5), [1u8; 64]);
+        j.assign_epoch(s0, ep(0, 0));
+        g.mark_committed(ep(0, 0));
+        // Thread 1's epoch is created only after (0,0) committed.
+        g.ensure(ep(1, 0));
+        let s1 = j.record(la(5), [2u8; 64]);
+        j.assign_epoch(s1, ep(1, 0));
+        let r = race_check(&j, &g);
+        assert!(r.is_clean(), "{:?}", r.races);
+        assert_eq!(r.suppressed_by_commit_order, 1);
+    }
+
+    #[test]
+    fn commit_before_exec_suppresses() {
+        // Thread 1's epoch existed all along (so the creation witness
+        // cannot fire), but its conflicting write executed only after
+        // thread 0's epoch committed — the lock-handoff shape where the
+        // hardware records no dependency edge.
+        let mut j = WriteJournal::enabled();
+        let mut g = DepGraph::new();
+        g.ensure(ep(0, 0));
+        g.ensure(ep(1, 0));
+        let s0 = j.record(la(5), [1u8; 64]);
+        j.assign_epoch(s0, ep(0, 0));
+        j.note_exec_clock(s0, g.now());
+        g.mark_committed(ep(0, 0));
+        let s1 = j.record(la(5), [2u8; 64]);
+        j.assign_epoch(s1, ep(1, 0));
+        j.note_exec_clock(s1, g.now());
+        let r = race_check(&j, &g);
+        assert!(r.is_clean(), "{:?}", r.races);
+        assert_eq!(r.suppressed_by_commit_order, 1);
+    }
+
+    #[test]
+    fn same_thread_writes_never_race() {
+        let j = journal(&[(0, 0, 4), (0, 1, 4), (0, 7, 4)]);
+        let mut g = DepGraph::new();
+        g.ensure(ep(0, 7));
+        let r = race_check(&j, &g);
+        assert!(r.is_clean());
+        assert_eq!(r.pairs_checked, 0);
+        assert_eq!(r.lines_checked, 1);
+        assert_eq!(r.epochs_with_writes, 3);
+    }
+
+    #[test]
+    fn different_lines_never_race() {
+        let j = journal(&[(0, 0, 1), (1, 0, 2)]);
+        let mut g = DepGraph::new();
+        g.ensure(ep(0, 0));
+        g.ensure(ep(1, 0));
+        let r = race_check(&j, &g);
+        assert!(r.is_clean());
+        assert_eq!(r.lines_checked, 2);
+    }
+
+    #[test]
+    fn cycle_reported_not_panicked() {
+        let j = journal(&[(0, 0, 1)]);
+        let mut g = DepGraph::new();
+        g.add_cross_dep(ep(0, 0), ep(1, 0));
+        g.add_cross_dep(ep(1, 0), ep(0, 0));
+        let r = race_check(&j, &g);
+        assert!(r.cycle);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn finding_display_mentions_line_and_epochs() {
+        let j = journal(&[(0, 0, 7), (1, 0, 7)]);
+        let mut g = DepGraph::new();
+        g.ensure(ep(0, 0));
+        g.ensure(ep(1, 0));
+        let r = race_check(&j, &g);
+        let s = r.races[0].to_string();
+        assert!(s.contains("persist race"));
+        assert!(s.contains("E0,0") && s.contains("E1,0"));
+    }
+}

@@ -104,6 +104,14 @@ impl Engine {
             MemOp::Release { addr, seq, data } => {
                 self.do_store(m, t, addr, seq, data, true);
             }
+            MemOp::Flush { .. } => {
+                // A clwb-style hint: persist-buffer designs already flush
+                // eagerly and the baseline flushes at fences, so the hint
+                // only costs the cache access that reads the line out.
+                self.stats.flush_hints += 1;
+                let lat = self.cfg.l1_latency;
+                self.finish_op(t, lat);
+            }
             MemOp::OFence => m.on_ofence(self, t),
             MemOp::DFence => m.on_dfence(self, t),
         }
@@ -187,6 +195,7 @@ impl Engine {
         // Epoch known only now (conflict handling may have split it).
         let epoch = self.cores[t].cur_epoch();
         self.journal.assign_epoch(seq, epoch);
+        self.journal.note_exec_clock(seq, self.deps.now());
         self.stats.stores += 1;
 
         let op = StoreOp {

@@ -214,6 +214,35 @@ impl Sim {
         &self.engine.deps
     }
 
+    /// The write journal (empty unless [`SimBuilder::with_journal`]).
+    pub fn journal(&self) -> &asap_pm_mem::WriteJournal {
+        &self.engine.journal
+    }
+
+    /// Run the happens-before persist-race detector over the journal and
+    /// dependency graph accumulated so far (see [`crate::race`]).
+    /// Requires [`SimBuilder::with_journal`].
+    ///
+    /// The verdict is only as good as the ordering evidence the model
+    /// leaves behind. Persist-buffer designs record release/acquire
+    /// edges in the dependency graph and battery designs commit epochs
+    /// at every fence, so both give the detector something to work
+    /// with; **Baseline does neither for release-persistency programs
+    /// that never fence**, and can report spurious races there. Run
+    /// race checks under ASAP or HOPS (the drivers in `asap-analysis`
+    /// default to ASAP).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the journal was not enabled at build time.
+    pub fn race_check(&self) -> crate::race::RaceReport {
+        assert!(
+            self.engine.journal.is_enabled(),
+            "race checking requires SimBuilder::with_journal()"
+        );
+        crate::race::race_check(&self.engine.journal, &self.engine.deps)
+    }
+
     /// Maximum recovery-table occupancy across MCs (Figure 12).
     pub fn rt_max_occupancy(&self) -> usize {
         self.engine

@@ -1,0 +1,120 @@
+//! Edge cases of the crash-consistency oracle entry points: crashing
+//! before anything ran, crashing without a journal, crashing after
+//! completion, and crashing repeatedly.
+
+use asap_core::{Flavor, ModelKind, SimBuilder, ThreadProgram};
+use asap_sim_core::{Cycle, SimConfig, ThreadId};
+
+/// Two epochs of stores with proper barriers, then done.
+struct TwoEpochs {
+    done: bool,
+}
+
+impl ThreadProgram for TwoEpochs {
+    fn next_burst(
+        &mut self,
+        tid: ThreadId,
+        ctx: &mut asap_core::BurstCtx<'_>,
+    ) -> asap_core::BurstStatus {
+        if !self.done {
+            self.done = true;
+            let base = 0x4000 + tid.0 as u64 * 0x200;
+            ctx.store_u64(base, 1);
+            ctx.ofence();
+            ctx.store_u64(base + 64, 2);
+            ctx.dfence();
+        }
+        asap_core::BurstStatus::Finished
+    }
+}
+
+fn sim(journal: bool) -> asap_core::Sim {
+    let mut b = SimBuilder::new(SimConfig::paper(), ModelKind::Asap, Flavor::Release)
+        .program(Box::new(TwoEpochs { done: false }))
+        .program(Box::new(TwoEpochs { done: false }));
+    if journal {
+        b = b.with_journal();
+    }
+    b.build()
+}
+
+#[test]
+fn crash_at_cycle_zero_is_trivially_consistent() {
+    let mut s = sim(true);
+    let report = s.crash_at(Cycle(0));
+    assert!(
+        report.is_consistent(),
+        "violations: {:?}",
+        report.violations
+    );
+    assert_eq!(report.epochs_visible, 0);
+}
+
+#[test]
+#[should_panic(expected = "crash checking requires")]
+fn crash_without_journal_panics_with_guidance() {
+    let mut s = sim(false);
+    s.run_to_completion();
+    s.crash_and_check();
+}
+
+#[test]
+#[should_panic(expected = "race checking requires")]
+fn race_check_without_journal_panics_with_guidance() {
+    let mut s = sim(false);
+    s.run_to_completion();
+    s.race_check();
+}
+
+#[test]
+fn crash_after_completion_sees_everything_durable() {
+    let mut s = sim(true);
+    let out = s.run_to_completion();
+    assert!(out.all_done);
+    let report = s.crash_and_check();
+    assert!(
+        report.is_consistent(),
+        "violations: {:?}",
+        report.violations
+    );
+    // Both threads' epochs executed writes and all of them are visible;
+    // committed may exceed visible (epoch splits create empty epochs
+    // that commit without ever holding a write).
+    assert!(report.epochs_visible >= 4, "report: {report:?}");
+    assert!(report.epochs_visible <= report.epochs_committed);
+}
+
+#[test]
+fn repeated_crash_checks_are_stable() {
+    let mut s = sim(true);
+    s.run_to_completion();
+    let first = s.crash_and_check();
+    let second = s.crash_and_check();
+    assert!(first.is_consistent() && second.is_consistent());
+    assert_eq!(first.epochs_visible, second.epochs_visible);
+    assert_eq!(first.epochs_committed, second.epochs_committed);
+    assert_eq!(first.lines_checked, second.lines_checked);
+}
+
+#[test]
+fn crash_mid_run_stays_consistent_for_every_model() {
+    for model in [
+        ModelKind::Baseline,
+        ModelKind::Hops,
+        ModelKind::Asap,
+        ModelKind::Eadr,
+        ModelKind::Bbb,
+    ] {
+        let mut s = SimBuilder::new(SimConfig::paper(), model, Flavor::Release)
+            .program(Box::new(TwoEpochs { done: false }))
+            .program(Box::new(TwoEpochs { done: false }))
+            .with_journal()
+            .build();
+        let report = s.crash_at(Cycle(150));
+        assert!(
+            report.is_consistent(),
+            "{model:?} violations: {:?}",
+            report.violations
+        );
+    }
+}

@@ -12,6 +12,9 @@
 //! fig08_performance            median 12.31ms  mean 12.40ms  min 12.11ms  (10 samples)
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 

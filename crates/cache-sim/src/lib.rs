@@ -27,7 +27,7 @@
 //!   must not be evicted from the LLC while they sit in a persist buffer.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod bloom;
 mod coherence;

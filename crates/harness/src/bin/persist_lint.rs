@@ -1,0 +1,100 @@
+//! `persist_lint`: the static workload-IR lint CLI.
+//!
+//! ```text
+//! persist_lint [--workload W | --all-workloads] [--flavor ep|rp]
+//!              [--threads N] [--ops N] [--seed N]
+//!              [--json PATH] [--no-waivers] [--deny-warnings]
+//! ```
+//!
+//! Extracts each workload's micro-op streams (no timing simulation) and
+//! runs the `asap-analysis` persist-discipline rules over them. Prints
+//! the text report to stdout; `--json PATH` additionally writes the
+//! machine-readable report (`-` for stdout). Exit status: 1 if any
+//! unwaived error-severity finding remains, or — under
+//! `--deny-warnings`, the CI gate — if *any* unwaived finding remains.
+//! `--no-waivers` disables the built-in waiver table to show the raw
+//! findings.
+
+use asap_analysis::driver::{lint_workload_with, AnalysisParams};
+use asap_analysis::report::LintRun;
+use asap_analysis::waivers::BUILTIN_WAIVERS;
+use asap_sim_core::{Flavor, ModelKind};
+use asap_workloads::WorkloadKind;
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: persist_lint [--workload W | --all-workloads] [--flavor ep|rp] \
+             [--threads N] [--ops N] [--seed N] [--json PATH] \
+             [--no-waivers] [--deny-warnings]\n\nworkloads: {}",
+            WorkloadKind::all()
+                .iter()
+                .map(|w| w.label())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return;
+    }
+
+    let flavor: Flavor = arg(&args, "--flavor")
+        .map(|s| s.parse().expect("unknown flavor"))
+        .unwrap_or(Flavor::Release);
+    let mut p = AnalysisParams {
+        flavor,
+        ..AnalysisParams::default()
+    };
+    if let Some(n) = arg(&args, "--threads").and_then(|s| s.parse().ok()) {
+        p.threads = n;
+    }
+    if let Some(n) = arg(&args, "--ops").and_then(|s| s.parse().ok()) {
+        p.ops_per_thread = n;
+    }
+    if let Some(n) = arg(&args, "--seed").and_then(|s| s.parse().ok()) {
+        p.seed = n;
+    }
+    // Lint never simulates; the model field only matters to race runs.
+    p.model = ModelKind::Asap;
+
+    let kinds: Vec<WorkloadKind> = if args.iter().any(|a| a == "--all-workloads") {
+        WorkloadKind::all().to_vec()
+    } else {
+        vec![arg(&args, "--workload")
+            .map(|s| s.parse().expect("unknown workload"))
+            .unwrap_or(WorkloadKind::Cceh)]
+    };
+    let waivers: &[asap_analysis::Waiver] = if args.iter().any(|a| a == "--no-waivers") {
+        &[]
+    } else {
+        BUILTIN_WAIVERS
+    };
+
+    let run = LintRun {
+        reports: kinds
+            .iter()
+            .map(|&k| lint_workload_with(k, &p, waivers))
+            .collect(),
+    };
+    print!("{}", run.to_text());
+    if let Some(path) = arg(&args, "--json") {
+        if path == "-" {
+            println!("{}", run.to_json());
+        } else {
+            std::fs::write(&path, run.to_json()).expect("write JSON report");
+            eprintln!("# JSON report written to {path}");
+        }
+    }
+
+    let errors: usize = run.reports.iter().map(|r| r.errors()).sum();
+    let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
+    if errors > 0 || (deny_warnings && run.has_findings()) {
+        std::process::exit(1);
+    }
+}

@@ -45,7 +45,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod experiments;
 pub mod hwcost;
@@ -54,7 +54,7 @@ mod report;
 mod runner;
 
 pub use report::Table;
-pub use runner::{run_once, run_roi, run_window, RunOutcome, RunSpec};
+pub use runner::{run_once, run_race_check, run_roi, run_window, RunOutcome, RunSpec};
 
 /// Parse the shared CLI convention of the harness binaries:
 /// `--full` selects paper-scale runs (default: quick), `--seed N`

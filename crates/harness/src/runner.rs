@@ -101,6 +101,23 @@ pub fn run_once(spec: &RunSpec) -> RunOutcome {
     outcome(&mut sim, out.all_done)
 }
 
+/// Run the workload to completion with the write journal enabled, then
+/// hand the journal and dependency graph to the happens-before
+/// persist-race detector (`asap_core::race`). Returns the usual metrics
+/// alongside the race report. Journalling costs memory proportional to
+/// the store count, so this is for analysis runs, not sweeps.
+pub fn run_race_check(spec: &RunSpec) -> (RunOutcome, asap_core::RaceReport) {
+    let params = params_for(spec);
+    let programs = make_workload(spec.workload, &params);
+    let mut sim = SimBuilder::new(spec.config.clone(), spec.model, spec.flavor)
+        .programs(programs)
+        .with_journal()
+        .build();
+    let out = sim.run_to_completion();
+    let report = sim.race_check();
+    (outcome(&mut sim, out.all_done), report)
+}
+
 /// Run for a fixed simulated window (Figure 2 uses 1 ms) and collect
 /// metrics; the workload is sized by `spec.ops_per_thread` and should be
 /// large enough not to finish early (see [`RunSpec::windowed`]).
@@ -172,6 +189,14 @@ mod tests {
         assert!(roi.cycles < full.cycles, "ROI must exclude the warmup");
         assert!(roi.ops <= full.ops);
         assert!(roi.all_done);
+    }
+
+    #[test]
+    fn run_race_check_reports_on_a_clean_workload() {
+        let (out, report) = run_race_check(&spec(ModelKind::Asap, WorkloadKind::Queue));
+        assert!(out.all_done);
+        assert!(report.is_clean(), "races: {:?}", report.races);
+        assert!(report.epochs_with_writes > 0);
     }
 
     #[test]

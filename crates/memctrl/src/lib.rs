@@ -20,7 +20,7 @@
 //! epoch-commit messages.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod mc;
 mod rt;

@@ -71,6 +71,11 @@ pub struct WriteJournal {
     /// even when payload retention is disabled (the simulator's
     /// synchronization machinery needs them).
     executed: Vec<bool>,
+    /// Per-store execution stamp on the dependency graph's
+    /// registration/commit clock (see `DepGraph::now` in `asap-core`);
+    /// `0` until the store executes. Lets the persist-race detector
+    /// order "epoch committed" against "write executed" in real time.
+    exec_clock: Vec<u64>,
     /// Latest store per line (generation order); also always maintained.
     last_store: std::collections::HashMap<LineAddr, WriteSeq>,
 }
@@ -102,6 +107,7 @@ impl WriteJournal {
         let seq = WriteSeq(self.next_seq);
         self.next_seq += 1;
         self.executed.push(false);
+        self.exec_clock.push(0);
         self.last_store.insert(line, seq);
         if self.enabled {
             self.entries.push(JournalEntry {
@@ -133,6 +139,24 @@ impl WriteJournal {
     /// Whether the store `seq` has executed in the timing domain.
     pub fn is_executed(&self, seq: WriteSeq) -> bool {
         self.executed.get(seq.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// Stamp the execution instant of store `seq` on an external
+    /// monotonic clock (the dependency graph's registration/commit
+    /// clock). Maintained even when payload retention is disabled.
+    pub fn note_exec_clock(&mut self, seq: WriteSeq, clock: u64) {
+        if let Some(c) = self.exec_clock.get_mut(seq.0 as usize) {
+            *c = clock;
+        }
+    }
+
+    /// The execution stamp of store `seq`, if it executed.
+    pub fn exec_clock_of(&self, seq: WriteSeq) -> Option<u64> {
+        if self.is_executed(seq) {
+            self.exec_clock.get(seq.0 as usize).copied()
+        } else {
+            None
+        }
     }
 
     /// The latest (generation-order) store to `line`, if any.
@@ -191,6 +215,17 @@ mod tests {
         j.assign_epoch(s, ep(0, 0)); // no-op, must not panic
         assert_eq!(j.entries().len(), 0);
         assert_eq!(j.writes_issued(), 2);
+    }
+
+    #[test]
+    fn exec_clock_visible_only_after_execution() {
+        let mut j = WriteJournal::enabled();
+        let s = j.record(LineAddr::containing(0), [0; 64]);
+        j.note_exec_clock(s, 9);
+        // Not executed yet: the stamp stays hidden.
+        assert_eq!(j.exec_clock_of(s), None);
+        j.assign_epoch(s, ep(0, 0));
+        assert_eq!(j.exec_clock_of(s), Some(9));
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //!   `asap-core` to machine-check the paper's Theorems 1 and 2.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod alloc;
 mod journal;

@@ -221,6 +221,9 @@ pub struct Stats {
     pub stores: u64,
     /// HOPS: accesses to the global timestamp register.
     pub global_ts_reads: u64,
+    /// Explicit `clwb`-style flush hints executed (see `MemOp::Flush`
+    /// in `asap-core`; pure hints, no ordering effect).
+    pub flush_hints: u64,
 
     // ---- occupancy distributions ----
     /// Time-weighted persist-buffer occupancy (Figure 11).
@@ -267,6 +270,7 @@ impl Stats {
         self.loads += o.loads;
         self.stores += o.stores;
         self.global_ts_reads += o.global_ts_reads;
+        self.flush_hints += o.flush_hints;
         self.pb_occupancy.merge(&o.pb_occupancy);
         self.rt_occupancy.merge(&o.rt_occupancy);
         self.et_occupancy.merge(&o.et_occupancy);
@@ -306,6 +310,7 @@ impl Stats {
         m.insert("loads".to_string(), self.loads);
         m.insert("stores".to_string(), self.stores);
         m.insert("globalTsReads".to_string(), self.global_ts_reads);
+        m.insert("flushHints".to_string(), self.flush_hints);
         StatSnapshot { counters: m }
     }
 
@@ -476,6 +481,7 @@ mod tests {
             loads: 23,
             stores: 24,
             global_ts_reads: 25,
+            flush_hints: 26,
             ..Stats::new()
         };
         let snap = s.snapshot();
@@ -505,6 +511,7 @@ mod tests {
             ("loads", 23),
             ("stores", 24),
             ("globalTsReads", 25),
+            ("flushHints", 26),
         ];
         assert_eq!(snap.iter().count(), expect.len());
         for (name, value) in expect {

@@ -16,6 +16,9 @@
 //!   epoch- and release-persistency flavours.
 //! * [`workloads`] — the Table III workload suite re-implemented as
 //!   instrumented persistent data structures.
+//! * [`analysis`] — static analysis over the workload IR: the
+//!   `persist_lint` flush/fence-discipline rules and the driver for the
+//!   happens-before persist-race detector.
 //! * [`harness`] — experiment drivers reproducing every figure and table
 //!   in the paper's evaluation.
 //!
@@ -38,6 +41,10 @@
 //! assert!(outcome.stats.ops_completed > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub use asap_analysis as analysis;
 pub use asap_cache_sim as cache;
 pub use asap_core as model;
 pub use asap_harness as harness;

@@ -1,0 +1,50 @@
+//! Workspace-level pin of the static analysis layer: the persist lint
+//! over all 14 Table III workloads matches the golden report fixture,
+//! stays free of unwaived findings, and the happens-before race
+//! detector finds the whole suite clean.
+//!
+//! Regenerate the fixture after an intentional workload or rule change:
+//!
+//! ```text
+//! cargo run -p asap-harness --bin persist_lint -- --all-workloads \
+//!     > tests/fixtures/lint_golden.txt
+//! ```
+
+use asap::analysis::driver::{lint_all_workloads, race_check_workload, AnalysisParams};
+use asap::workloads::WorkloadKind;
+
+#[test]
+fn lint_report_matches_golden_fixture() {
+    let run = lint_all_workloads(&AnalysisParams::default());
+    let golden = include_str!("fixtures/lint_golden.txt");
+    let text = run.to_text();
+    assert!(
+        text == golden,
+        "lint report drifted from tests/fixtures/lint_golden.txt — if the \
+         change is intentional, regenerate it (see module docs).\n\
+         --- got ---\n{text}\n--- expected ---\n{golden}"
+    );
+}
+
+#[test]
+fn suite_has_no_unwaived_findings() {
+    let run = lint_all_workloads(&AnalysisParams::default());
+    assert_eq!(run.reports.len(), 14);
+    assert!(!run.has_findings(), "unwaived findings:\n{}", run.to_text());
+    // Waivers stay scoped: at least one workload needs none.
+    assert!(run.reports.iter().any(|r| r.waived.is_empty()));
+}
+
+#[test]
+fn suite_is_persist_race_free() {
+    let p = AnalysisParams::default();
+    for kind in WorkloadKind::all() {
+        let report = race_check_workload(kind, &p);
+        assert!(!report.cycle, "{kind}: dependency cycle");
+        assert!(
+            report.is_clean(),
+            "{kind}: unordered persists: {:?}",
+            report.races
+        );
+    }
+}
