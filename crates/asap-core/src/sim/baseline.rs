@@ -8,7 +8,7 @@ use super::engine::{Block, Engine, Event};
 use super::model::{PersistencyModel, StoreOp};
 use asap_memctrl::{FlushOutcome, FlushPacket};
 use asap_pm_mem::WriteSeq;
-use asap_sim_core::{Cycle, EpochId, LineAddr, ThreadId};
+use asap_sim_core::{Cycle, EpochId, LineAddr, ThreadId, TraceRecord};
 use std::collections::{HashMap, VecDeque};
 
 /// A dirty-line set that remembers first-store order, so fences issue
@@ -67,6 +67,10 @@ impl BaselineModel {
             pending: dirty,
             is_dfence,
         });
+        eng.trace(TraceRecord::StallBegin {
+            tid: t,
+            reason: "SyncFence",
+        });
         issue_sync_flushes(eng, t);
     }
 }
@@ -86,6 +90,13 @@ fn issue_sync_flushes(eng: &mut Engine, t: usize) {
         };
         eng.cores[t].inflight += 1;
         let mc = eng.cfg.mc_of_addr(line.byte_addr());
+        eng.trace(TraceRecord::FlushIssue {
+            tid: t,
+            entry: seq,
+            line: line.byte_addr(),
+            mc,
+            early: false,
+        });
         let at = eng.now + eng.cfg.pb_flush_latency;
         eng.schedule(
             at,
@@ -177,6 +188,10 @@ impl PersistencyModel for BaselineModel {
             } else {
                 eng.stats.ofence_stalled += stall;
             }
+            eng.trace(TraceRecord::StallEnd {
+                tid,
+                reason: "SyncFence",
+            });
             finish_sync_epoch(eng, tid);
             eng.schedule_step(tid, eng.now);
         } else {

@@ -11,7 +11,8 @@ use asap_cache_sim::{CoherenceHub, CountingBloom, WriteBackBuffer};
 use asap_memctrl::MemController;
 use asap_pm_mem::{NvmImage, PmSpace, WriteJournal};
 use asap_sim_core::{
-    Cycle, EpochId, EventQueue, Flavor, LineAddr, McId, SimConfig, Stats, ThreadId,
+    Cycle, EpochId, EventQueue, Flavor, LineAddr, McId, NullTracer, Sampler, SimConfig, Stats,
+    TextTracer, ThreadId, TraceRecord, Tracer,
 };
 use std::collections::{HashMap, VecDeque};
 
@@ -101,6 +102,9 @@ pub(super) enum Event {
     HopsPoll {
         tid: usize,
     },
+    /// Periodic observability sample (exists only when a [`Sampler`] is
+    /// attached, so unsampled runs see an unchanged event stream).
+    Sample,
 }
 
 /// The shared machine: everything of Table II that exists regardless of
@@ -126,9 +130,16 @@ pub(super) struct Engine {
     pub nack_filters: Vec<CountingBloom>,
     pub events_processed: u64,
     pub crashed: bool,
-    /// `ASAP_TRACE` sampled once at construction: reading the environment
-    /// per dispatched event costs more than dispatch itself.
-    pub trace: bool,
+    /// Whether the tracer is live. Every emission site branches on this
+    /// plain bool (`ASAP_TRACE` is sampled once at construction: reading
+    /// the environment per event costs more than dispatch itself), so a
+    /// disabled tracer never reaches the sink.
+    pub trace_on: bool,
+    /// Structured trace sink (see [`asap_sim_core::Tracer`]). Observes
+    /// only; never schedules simulation work.
+    pub tracer: Box<dyn Tracer>,
+    /// Periodic occupancy/bandwidth sampler, if attached.
+    pub sampler: Option<Sampler>,
     /// Construction-time model capabilities (see
     /// [`PersistencyModel::uses_pb`] / `wants_background_flush`).
     pub uses_pb: bool,
@@ -209,10 +220,17 @@ impl Engine {
             nack_filters,
             events_processed: 0,
             crashed: false,
-            trace: std::env::var_os("ASAP_TRACE").is_some(),
+            // `ASAP_TRACE=0` / `""` / `off` must stay silent; only truthy
+            // values enable the default text sink.
+            trace_on: asap_sim_core::env_trace_enabled(),
+            tracer: Box::new(NullTracer),
+            sampler: None,
             uses_pb,
             flush_engine,
         };
+        if eng.trace_on {
+            eng.tracer = Box::new(TextTracer::stderr());
+        }
         for c in &mut eng.cores {
             c.step_scheduled = true;
         }
@@ -242,9 +260,6 @@ impl Engine {
             let (t, ev) = self.queue.pop().expect("peeked");
             self.now = t;
             self.events_processed += 1;
-            if self.trace {
-                eprintln!("[{}] {:?}", self.now, ev);
-            }
             assert!(
                 self.events_processed < EVENT_BUDGET,
                 "event budget exhausted at {} after {} events (runaway simulation?) ev={:?} state={}",
@@ -265,6 +280,17 @@ impl Engine {
             Event::FlushArrive { tid, entry_id, mc } => self.flush_arrive(m, tid, entry_id, mc),
             Event::FlushReply { tid, entry_id, ok } => {
                 self.cores[tid].inflight -= 1;
+                self.trace(if ok {
+                    TraceRecord::FlushAck {
+                        tid,
+                        entry: entry_id,
+                    }
+                } else {
+                    TraceRecord::FlushNack {
+                        tid,
+                        entry: entry_id,
+                    }
+                });
                 m.on_flush_reply(self, tid, entry_id, ok);
             }
             Event::SyncFlushArrive { tid, line, seq, mc } => {
@@ -278,6 +304,44 @@ impl Engine {
             Event::CommitAckArrive { epoch } => self.commit_ack_arrive(m, epoch),
             Event::CdrArrive { tid, src } => self.cdr_arrive(m, tid, src),
             Event::HopsPoll { tid } => m.on_poll(self, tid),
+            Event::Sample => self.do_sample(),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Observability
+    // ---------------------------------------------------------------
+
+    /// Hand a record to the trace sink (no-op with tracing off; the
+    /// `trace_on` bool keeps the disabled path to a single branch).
+    #[inline]
+    pub(super) fn trace(&mut self, rec: TraceRecord) {
+        if self.trace_on {
+            self.tracer.record(self.now, rec);
+        }
+    }
+
+    /// Record one occupancy/bandwidth sample and reschedule the next
+    /// sample event. Reads state only — the sampler cannot perturb
+    /// simulated behaviour, merely observe it.
+    fn do_sample(&mut self) {
+        let now = self.now;
+        let pb: usize = self.cores.iter().map(|c| c.pb.len()).sum();
+        let et: usize = self.cores.iter().map(|c| c.et.len()).sum();
+        let rt: usize = self.mcs.iter().map(|m| m.rt().occupancy()).sum();
+        // `wpq_occupancy` prunes already-drained entries; the pruning is
+        // idempotent bookkeeping, not a state change the simulation can
+        // observe.
+        let wpq: usize = self.mcs.iter_mut().map(|m| m.wpq_occupancy(now)).sum();
+        let writes: Vec<u64> = self.mcs.iter().map(|m| m.media_writes()).collect();
+        let all_done = self.all_done();
+        let Some(s) = self.sampler.as_mut() else {
+            return;
+        };
+        s.row(now, pb, et, rt, wpq, &writes);
+        if !all_done {
+            let next = now + s.every();
+            self.queue.push(next, Event::Sample);
         }
     }
 
@@ -404,6 +468,10 @@ impl Engine {
                 unreachable!()
             };
             self.stats.cycles_stalled += self.now.saturating_sub(since).raw();
+            self.trace(TraceRecord::StallEnd {
+                tid: t,
+                reason: "PbFull",
+            });
             self.cores[t].burst.push_front(op);
             self.schedule_step(t, self.now);
         }

@@ -8,9 +8,9 @@ use super::engine::{Block, Engine, Event};
 use super::model::{PersistencyModel, StoreOp};
 use crate::et::EpochStatus;
 use crate::ops::{BurstCtx, BurstStatus, MemOp};
-use asap_memctrl::{FlushOutcome, FlushPacket};
+use asap_memctrl::{FlushAction, FlushOutcome, FlushPacket};
 use asap_pm_mem::{LineSnapshot, WriteSeq};
-use asap_sim_core::{Cycle, EpochId, Flavor, LineAddr, McId, ThreadId};
+use asap_sim_core::{Cycle, EpochId, Flavor, LineAddr, McId, ThreadId, TraceRecord};
 
 impl Engine {
     // ---------------------------------------------------------------
@@ -256,6 +256,10 @@ impl Engine {
                     since: self.now,
                     op,
                 });
+                self.trace(TraceRecord::StallBegin {
+                    tid: t,
+                    reason: "PbFull",
+                });
                 self.schedule_flush(t);
                 false
             }
@@ -273,6 +277,10 @@ impl Engine {
             self.cores[t].blocked = Some(Block::EtFull {
                 since: self.now,
                 op: MemOp::OFence,
+            });
+            self.trace(TraceRecord::StallBegin {
+                tid: t,
+                reason: "EtFull",
             });
             return;
         }
@@ -292,6 +300,10 @@ impl Engine {
             self.finish_op(t, Cycle(1));
         } else {
             self.cores[t].blocked = Some(Block::DFence { since: self.now });
+            self.trace(TraceRecord::StallBegin {
+                tid: t,
+                reason: "DFence",
+            });
             self.schedule_flush(t);
             self.update_pb_blocked(m, t);
         }
@@ -432,13 +444,21 @@ impl Engine {
             let Some((id, line, epoch)) = candidate else {
                 break;
             };
-            if m.flushes_early(self, t, epoch.ts) {
+            let early = m.flushes_early(self, t, epoch.ts);
+            if early {
                 let mc = McId(self.cfg.mc_of_addr(line.byte_addr()));
                 self.cores[t].et.note_early_flush(epoch.ts, mc);
             }
             self.cores[t].pb.mark_inflight(id);
             self.cores[t].inflight += 1;
             let mc = self.cfg.mc_of_addr(line.byte_addr());
+            self.trace(TraceRecord::FlushIssue {
+                tid: t,
+                entry: id,
+                line: line.byte_addr(),
+                mc,
+                early,
+            });
             let at = self.now + self.cfg.pb_flush_latency;
             self.schedule(
                 at,
@@ -474,7 +494,18 @@ impl Engine {
         };
         let outcome = self.mcs[mc].receive_flush(self.now, &pkt, &mut self.nvm, &mut self.stats);
         match outcome {
-            FlushOutcome::Accepted { accept_at, .. } => {
+            FlushOutcome::Accepted { accept_at, action } => {
+                match action {
+                    FlushAction::SpeculativelyPersisted => self.trace(TraceRecord::RtUndo {
+                        mc,
+                        line: pkt.line.byte_addr(),
+                    }),
+                    FlushAction::Delayed => self.trace(TraceRecord::RtDelay {
+                        mc,
+                        line: pkt.line.byte_addr(),
+                    }),
+                    FlushAction::Persisted | FlushAction::UndoUpdated | FlushAction::Nacked => {}
+                }
                 if early {
                     // Re-affirm the early MC (the issue-time marking could
                     // have been skipped if the epoch was safe then).
@@ -491,6 +522,10 @@ impl Engine {
                 );
             }
             FlushOutcome::Nacked { accept_at } => {
+                self.trace(TraceRecord::RtNack {
+                    mc,
+                    line: pkt.line.byte_addr(),
+                });
                 let at = accept_at + self.cfg.pb_flush_latency;
                 self.schedule(
                     at,
@@ -502,6 +537,10 @@ impl Engine {
                 );
             }
             FlushOutcome::Busy { retry_at } => {
+                self.trace(TraceRecord::WpqBusy {
+                    mc,
+                    line: pkt.line.byte_addr(),
+                });
                 let at = retry_at.max(self.now + Cycle(1));
                 self.schedule(at, Event::FlushArrive { tid, entry_id, mc });
             }
@@ -561,6 +600,11 @@ impl Engine {
             }
             let epoch = EpochId::new(ThreadId(t), ts);
             self.stats.commit_msgs += mcs.len() as u64;
+            self.trace(TraceRecord::CommitSent {
+                tid: t,
+                ts,
+                mcs: mcs.len(),
+            });
             for mc in mcs {
                 // Commit messages are small control packets (address-free
                 // epoch tags), cheaper than 64-byte flush packets; §V-C's
@@ -578,6 +622,7 @@ impl Engine {
         let epoch = EpochId::new(ThreadId(t), ts);
         self.deps.mark_committed(epoch);
         self.stats.epochs_committed += 1;
+        self.trace(TraceRecord::EpochCommit { tid: t, ts });
         m.on_commit(self, t, ts, &dependents);
         self.wake_safe_nacked(t);
 
@@ -589,6 +634,10 @@ impl Engine {
                 unreachable!()
             };
             self.stats.dfence_stalled += self.now.saturating_sub(since).raw();
+            self.trace(TraceRecord::StallEnd {
+                tid: t,
+                reason: "DFence",
+            });
             self.open_next_epoch(t);
             self.schedule_step(t, self.now);
         }
@@ -600,6 +649,10 @@ impl Engine {
                 unreachable!()
             };
             self.stats.ofence_stalled += self.now.saturating_sub(since).raw();
+            self.trace(TraceRecord::StallEnd {
+                tid: t,
+                reason: "EtFull",
+            });
             self.cores[t].burst.push_front(op);
             self.schedule_step(t, self.now);
         }
@@ -624,6 +677,11 @@ impl Engine {
 
     pub(super) fn cdr_arrive(&mut self, m: &mut dyn PersistencyModel, tid: usize, src: EpochId) {
         if self.cores[tid].et.resolve_dep(src) {
+            self.trace(TraceRecord::Cdr {
+                tid,
+                src_tid: src.thread.0,
+                src_ts: src.ts,
+            });
             self.schedule_flush(tid);
             self.try_commit(m, tid);
             self.update_pb_blocked(m, tid);

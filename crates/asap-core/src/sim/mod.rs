@@ -59,9 +59,10 @@ mod model;
 use crate::ops::ThreadProgram;
 use crate::oracle::{self, CrashReport};
 use asap_pm_mem::{NvmImage, PmSpace};
-use asap_sim_core::{Cycle, Flavor, ModelKind, SimConfig, Stats};
-use engine::Engine;
+use asap_sim_core::{Cycle, Flavor, ModelKind, Sampler, SimConfig, Stats, TraceRecord, Tracer};
+use engine::{Engine, Event};
 use model::{build_model, PersistencyModel};
+use std::io::Write;
 
 /// Summary of a completed (or truncated) run.
 #[derive(Debug, Clone)]
@@ -81,6 +82,8 @@ pub struct SimBuilder {
     flavor: Flavor,
     programs: Vec<Box<dyn ThreadProgram>>,
     journal: bool,
+    tracer: Option<Box<dyn Tracer>>,
+    sample: Option<(Cycle, Box<dyn Write + Send>)>,
 }
 
 impl SimBuilder {
@@ -93,6 +96,8 @@ impl SimBuilder {
             flavor,
             programs: Vec::new(),
             journal: false,
+            tracer: None,
+            sample: None,
         }
     }
 
@@ -115,6 +120,25 @@ impl SimBuilder {
         self
     }
 
+    /// Attach a structured trace sink (overrides the `ASAP_TRACE`
+    /// environment default). Sinks observe, never schedule: simulated
+    /// timing is byte-identical with or without one.
+    pub fn tracer(mut self, t: Box<dyn Tracer>) -> SimBuilder {
+        self.tracer = Some(t);
+        self
+    }
+
+    /// Attach a periodic occupancy/bandwidth sampler writing CSV rows to
+    /// `out` every `every` cycles (see [`asap_sim_core::Sampler`]).
+    ///
+    /// # Panics
+    ///
+    /// [`build`](SimBuilder::build) panics if `every` is zero.
+    pub fn sample(mut self, every: Cycle, out: Box<dyn Write + Send>) -> SimBuilder {
+        self.sample = Some((every, out));
+        self
+    }
+
     /// Build the simulator.
     ///
     /// # Panics
@@ -133,7 +157,7 @@ impl SimBuilder {
         self.cfg.num_cores = self.programs.len();
         let n = self.cfg.num_cores;
         let model = build_model(self.model, n);
-        let engine = Engine::new(
+        let mut engine = Engine::new(
             self.cfg,
             self.flavor,
             self.programs,
@@ -141,6 +165,16 @@ impl SimBuilder {
             model.uses_pb(),
             model.wants_background_flush(),
         );
+        if let Some(tracer) = self.tracer {
+            engine.tracer = tracer;
+            engine.trace_on = true;
+        }
+        if let Some((every, out)) = self.sample {
+            engine.sampler = Some(Sampler::new(every, out));
+            // The first sample lands one interval in; unsampled runs
+            // never see a Sample event at all.
+            engine.queue.push(every, Event::Sample);
+        }
         Sim {
             engine,
             model,
@@ -325,14 +359,19 @@ impl Sim {
             "crash checking requires SimBuilder::with_journal()"
         );
         self.engine.crashed = true;
+        self.engine.trace(TraceRecord::Crash);
         if self.model.on_crash(&mut self.engine) {
             // The whole hierarchy is durable: trivially consistent.
+            self.engine.trace(TraceRecord::Recovery { undo_applied: 0 });
             return CrashReport::default();
         }
         let mut undone = 0;
         for mc in &mut self.engine.mcs {
             undone += mc.crash(&mut self.engine.nvm);
         }
+        self.engine.trace(TraceRecord::Recovery {
+            undo_applied: undone as u64,
+        });
         let mut report = oracle::check(&self.engine.journal, &self.engine.deps, &self.engine.nvm);
         report.undo_records_applied = undone;
         report

@@ -12,18 +12,13 @@
 //!
 //! `--quick` uses the tests' quick scale (CI exercises the parallel
 //! path on every push without paying paper-scale minutes); the default
-//! is paper scale. `--threads N` pins the worker count.
+//! is paper scale. `--threads N` pins the worker count; `--progress`
+//! prints an `N/M jobs, ETA …` line as the parallel leg proceeds.
 
+use asap_harness::args::{arg_value as arg, has_flag, parse_arg};
 use asap_harness::experiments::{fig08_specs, ExperimentScale};
 use asap_harness::{pool, run_once, RunOutcome, RunSpec};
 use std::time::{Duration, Instant};
-
-fn arg(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
 
 fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let t0 = Instant::now();
@@ -33,9 +28,12 @@ fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    if let Some(n) = arg(&args, "--threads").and_then(|s| s.parse().ok()) {
+    let quick = has_flag(&args, "--quick");
+    if let Some(n) = parse_arg(&args, "--threads") {
         pool::set_worker_override(n);
+    }
+    if has_flag(&args, "--progress") {
+        pool::set_progress(true);
     }
     let out_path = arg(&args, "--out").unwrap_or_else(|| "BENCH_sweep.json".into());
     let (scale_name, scale) = if quick {

@@ -1,0 +1,123 @@
+//! Strict CLI flag parsing shared by the harness (and bench) binaries.
+//!
+//! The binaries previously parsed numeric flags with
+//! `arg(..).and_then(|s| s.parse().ok()).unwrap_or(default)`, which
+//! silently swallowed malformed values: `--threads banana` ran with the
+//! default worker count and `--crash-at 12x` ran with *no crash at all*.
+//! These helpers make a malformed or missing value a hard error — the
+//! binary prints a diagnostic naming the flag and value and exits with
+//! status 2 — while an *absent* flag still falls back to its default.
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// The raw value following `name`, if the flag is present and has one.
+pub fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Is the bare flag `name` present?
+pub fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Parse `--name VALUE`. `Ok(None)` when the flag is absent; an error
+/// message when the flag is present without a value or the value does
+/// not parse.
+pub fn try_parse_arg<T: FromStr>(args: &[String], name: &str) -> Result<Option<T>, String>
+where
+    T::Err: Display,
+{
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    let Some(v) = args.get(i + 1) else {
+        return Err(format!("flag {name} requires a value"));
+    };
+    v.parse()
+        .map(Some)
+        .map_err(|e| format!("invalid value '{v}' for {name}: {e}"))
+}
+
+/// Parse `--name VALUE`, exiting with status 2 and a diagnostic on a
+/// malformed value. Absent flag → `None`.
+pub fn parse_arg<T: FromStr>(args: &[String], name: &str) -> Option<T>
+where
+    T::Err: Display,
+{
+    match try_parse_arg(args, name) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parse `--name VALUE` with a default for an absent flag; malformed
+/// values still exit with status 2.
+pub fn parse_arg_or<T: FromStr>(args: &[String], name: &str, default: T) -> T
+where
+    T::Err: Display,
+{
+    parse_arg(args, name).unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn absent_flag_is_none() {
+        let args = argv(&["prog", "--other", "1"]);
+        assert_eq!(try_parse_arg::<u64>(&args, "--threads"), Ok(None));
+        assert_eq!(parse_arg_or(&args, "--threads", 4usize), 4);
+        assert!(!has_flag(&args, "--threads"));
+    }
+
+    #[test]
+    fn present_flag_parses() {
+        let args = argv(&["prog", "--threads", "8"]);
+        assert_eq!(try_parse_arg::<usize>(&args, "--threads"), Ok(Some(8)));
+        assert_eq!(parse_arg_or(&args, "--threads", 4usize), 8);
+        assert!(has_flag(&args, "--threads"));
+    }
+
+    #[test]
+    fn malformed_value_is_an_error_naming_flag_and_value() {
+        let args = argv(&["prog", "--threads", "banana"]);
+        let err = try_parse_arg::<usize>(&args, "--threads").unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
+        assert!(err.contains("banana"), "{err}");
+    }
+
+    #[test]
+    fn trailing_digit_garbage_is_an_error() {
+        // The original bug: "12x" parsed to None and silently disabled
+        // the crash entirely.
+        let args = argv(&["prog", "--crash-at", "12x"]);
+        let err = try_parse_arg::<u64>(&args, "--crash-at").unwrap_err();
+        assert!(err.contains("12x"), "{err}");
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let args = argv(&["prog", "--threads"]);
+        let err = try_parse_arg::<usize>(&args, "--threads").unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+    }
+
+    #[test]
+    fn arg_value_returns_raw_string() {
+        let args = argv(&["prog", "--workload", "queue"]);
+        assert_eq!(arg_value(&args, "--workload").as_deref(), Some("queue"));
+        assert_eq!(arg_value(&args, "--model"), None);
+    }
+}

@@ -3,63 +3,96 @@
 //! ```text
 //! asap_sim [--workload cceh] [--model asap] [--flavor rp] [--threads 4]
 //!          [--ops 200] [--seed 42] [--zipf THETA] [--crash-at CYCLES]
-//!          [--verify]
+//!          [--verify] [--trace] [--trace-out PATH]
+//!          [--sample-out PATH] [--sample-every CYCLES]
 //! ```
 //!
 //! Runs one simulation and prints the gem5-style statistics (Table VI
 //! names). With `--crash-at`, cuts power at the given cycle, runs the
 //! §VI consistency oracle and (with `--verify`) the structure's recovery
 //! verifier.
+//!
+//! Observability:
+//! - `--trace` streams the structured event trace to stderr as text
+//!   (same as `ASAP_TRACE=1`).
+//! - `--trace-out PATH` writes a Chrome `trace_event` JSON file —
+//!   load it in Perfetto / `chrome://tracing`.
+//! - `--sample-out PATH` writes a time-series CSV of queue occupancies
+//!   and per-MC NVM write bandwidth, sampled every `--sample-every`
+//!   cycles (default 10000).
+//!
+//! Every run prints its provenance manifest (model, workload, seed,
+//! config digest, wall time) as one JSON line on stderr.
+//!
+//! Malformed flag values are hard errors (exit status 2), not silent
+//! fallbacks to defaults — see [`asap_harness::args`].
 
 use asap_core::{Flavor, ModelKind, SimBuilder};
-use asap_sim_core::{Cycle, SimConfig};
+use asap_harness::args::{self, parse_arg, parse_arg_or};
+use asap_harness::{RunManifest, RunSpec};
+use asap_sim_core::{ChromeTracer, Cycle, SimConfig, TextTracer};
 use asap_workloads::{make_workload, recovery, WorkloadKind, WorkloadParams};
+use std::fs::File;
+use std::io::BufWriter;
 
-fn arg(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+/// Parse a labelled-enum flag (`--workload`, `--model`, `--flavor`),
+/// exiting with a diagnostic on an unknown label.
+fn parse_label<T: std::str::FromStr>(argv: &[String], name: &str, default: T, known: &str) -> T {
+    match args::arg_value(argv, name) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: invalid value '{v}' for {name}; known: {known}");
+            std::process::exit(2);
+        }),
+    }
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    if args.iter().any(|a| a == "--help" || a == "-h") {
+    let code = run();
+    // `run` owns the simulation; by the time we get here it has been
+    // dropped, so trace/sample sinks are flushed and closed.
+    std::process::exit(code);
+}
+
+fn run() -> i32 {
+    let argv: Vec<String> = std::env::args().collect();
+    if args::has_flag(&argv, "--help") || args::has_flag(&argv, "-h") {
         println!(
             "usage: asap_sim [--workload W] [--model baseline|hops|asap|eadr|bbb] \
              [--flavor ep|rp] [--threads N] [--ops N] [--seed N] \
-             [--zipf THETA] [--crash-at CYCLES] [--verify]\n\nworkloads: {}",
+             [--zipf THETA] [--crash-at CYCLES] [--verify] \
+             [--trace] [--trace-out PATH] \
+             [--sample-out PATH] [--sample-every CYCLES]\n\nworkloads: {}",
             WorkloadKind::all()
                 .iter()
                 .map(|w| w.label())
                 .collect::<Vec<_>>()
                 .join(", ")
         );
-        return;
+        return 0;
     }
 
-    let workload: WorkloadKind = arg(&args, "--workload")
-        .map(|s| s.parse().expect("unknown workload"))
-        .unwrap_or(WorkloadKind::Cceh);
-    let model: ModelKind = arg(&args, "--model")
-        .map(|s| s.parse().expect("unknown model"))
-        .unwrap_or(ModelKind::Asap);
-    let flavor: Flavor = arg(&args, "--flavor")
-        .map(|s| s.parse().expect("unknown flavor"))
-        .unwrap_or(Flavor::Release);
-    let threads: usize = arg(&args, "--threads")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4);
-    let ops: u64 = arg(&args, "--ops")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200);
-    let seed: u64 = arg(&args, "--seed")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42);
-    let crash_at: Option<u64> = arg(&args, "--crash-at").and_then(|s| s.parse().ok());
-    let verify = args.iter().any(|a| a == "--verify");
+    let workload = parse_label(
+        &argv,
+        "--workload",
+        WorkloadKind::Cceh,
+        "see --help for the list",
+    );
+    let model = parse_label(
+        &argv,
+        "--model",
+        ModelKind::Asap,
+        "baseline|hops|asap|eadr|bbb",
+    );
+    let flavor = parse_label(&argv, "--flavor", Flavor::Release, "ep|rp");
+    let threads: usize = parse_arg_or(&argv, "--threads", 4);
+    let ops: u64 = parse_arg_or(&argv, "--ops", 200);
+    let seed: u64 = parse_arg_or(&argv, "--seed", 42);
+    let crash_at: Option<u64> = parse_arg(&argv, "--crash-at");
+    let zipf: Option<f64> = parse_arg(&argv, "--zipf");
+    let sample_every: u64 = parse_arg_or(&argv, "--sample-every", 10_000);
+    let verify = args::has_flag(&argv, "--verify");
 
-    let zipf: Option<f64> = arg(&args, "--zipf").and_then(|s| s.parse().ok());
     let params = WorkloadParams {
         threads,
         ops_per_thread: ops,
@@ -71,13 +104,42 @@ fn main() {
         .cores(threads)
         .build()
         .expect("valid config");
-    let mut sim = SimBuilder::new(cfg, model, flavor)
+    let mut builder = SimBuilder::new(cfg.clone(), model, flavor)
         .programs(make_workload(workload, &params))
-        .with_journal()
-        .build();
+        .with_journal();
+
+    if let Some(path) = args::arg_value(&argv, "--trace-out") {
+        let file = File::create(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot create --trace-out {path}: {e}");
+            std::process::exit(2);
+        });
+        builder = builder.tracer(Box::new(ChromeTracer::new(Box::new(BufWriter::new(file)))));
+    } else if args::has_flag(&argv, "--trace") {
+        builder = builder.tracer(Box::new(TextTracer::stderr()));
+    }
+    if let Some(path) = args::arg_value(&argv, "--sample-out") {
+        let file = File::create(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot create --sample-out {path}: {e}");
+            std::process::exit(2);
+        });
+        builder = builder.sample(Cycle(sample_every), Box::new(BufWriter::new(file)));
+    }
+    let mut sim = builder.build();
+
+    // The manifest derives from a RunSpec so the CLI and the sweep
+    // harness report identical provenance for identical runs.
+    let mut manifest = RunManifest::of_spec(&RunSpec {
+        config: cfg,
+        model,
+        flavor,
+        workload,
+        ops_per_thread: ops,
+        seed,
+    });
 
     eprintln!("simulating {workload} under {model}_{flavor} on {threads} threads, {ops} ops/thread (seed {seed})");
     let t0 = std::time::Instant::now();
+    let mut code = 0;
 
     if let Some(at) = crash_at {
         let report = sim.crash_at(Cycle(at));
@@ -92,7 +154,7 @@ fn main() {
             for v in &report.violations {
                 println!("  - {v}");
             }
-            std::process::exit(1);
+            code = 1;
         }
         if verify {
             match recovery::verifier_for(workload) {
@@ -112,7 +174,7 @@ fn main() {
                         println!("  - {v}");
                     }
                     if !r.is_recoverable() {
-                        std::process::exit(1);
+                        code = 1;
                     }
                 }
                 None => println!("recovery walk        : (no verifier for {workload})"),
@@ -129,5 +191,7 @@ fn main() {
         println!("rtMaxOccupancy           {}", sim.rt_max_occupancy());
         println!("mediaUtilization         {:.3}", sim.media_utilization());
     }
-    eprintln!("# wall-clock {:.3?}", t0.elapsed());
+    manifest.wall = t0.elapsed();
+    eprintln!("# manifest {}", manifest.to_json());
+    code
 }

@@ -18,15 +18,9 @@
 use asap_analysis::driver::{lint_workload_with, AnalysisParams};
 use asap_analysis::report::LintRun;
 use asap_analysis::waivers::BUILTIN_WAIVERS;
+use asap_harness::args::{arg_value as arg, has_flag, parse_arg};
 use asap_sim_core::{Flavor, ModelKind};
 use asap_workloads::WorkloadKind;
-
-fn arg(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -44,33 +38,41 @@ fn main() {
         return;
     }
 
-    let flavor: Flavor = arg(&args, "--flavor")
-        .map(|s| s.parse().expect("unknown flavor"))
-        .unwrap_or(Flavor::Release);
+    let flavor: Flavor = match arg(&args, "--flavor") {
+        None => Flavor::Release,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: invalid value '{v}' for --flavor; known: ep|rp");
+            std::process::exit(2);
+        }),
+    };
     let mut p = AnalysisParams {
         flavor,
         ..AnalysisParams::default()
     };
-    if let Some(n) = arg(&args, "--threads").and_then(|s| s.parse().ok()) {
+    if let Some(n) = parse_arg(&args, "--threads") {
         p.threads = n;
     }
-    if let Some(n) = arg(&args, "--ops").and_then(|s| s.parse().ok()) {
+    if let Some(n) = parse_arg(&args, "--ops") {
         p.ops_per_thread = n;
     }
-    if let Some(n) = arg(&args, "--seed").and_then(|s| s.parse().ok()) {
+    if let Some(n) = parse_arg(&args, "--seed") {
         p.seed = n;
     }
     // Lint never simulates; the model field only matters to race runs.
     p.model = ModelKind::Asap;
 
-    let kinds: Vec<WorkloadKind> = if args.iter().any(|a| a == "--all-workloads") {
+    let kinds: Vec<WorkloadKind> = if has_flag(&args, "--all-workloads") {
         WorkloadKind::all().to_vec()
     } else {
-        vec![arg(&args, "--workload")
-            .map(|s| s.parse().expect("unknown workload"))
-            .unwrap_or(WorkloadKind::Cceh)]
+        vec![match arg(&args, "--workload") {
+            None => WorkloadKind::Cceh,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("error: invalid value '{v}' for --workload; see --help");
+                std::process::exit(2);
+            }),
+        }]
     };
-    let waivers: &[asap_analysis::Waiver] = if args.iter().any(|a| a == "--no-waivers") {
+    let waivers: &[asap_analysis::Waiver] = if has_flag(&args, "--no-waivers") {
         &[]
     } else {
         BUILTIN_WAIVERS

@@ -19,16 +19,10 @@
 
 use asap_analysis::driver::{race_findings, AnalysisParams};
 use asap_analysis::waivers::{partition, BUILTIN_WAIVERS};
+use asap_harness::args::{arg_value as arg, has_flag, parse_arg_or};
 use asap_harness::{run_race_check, RunSpec};
 use asap_sim_core::{Flavor, ModelKind, SimConfig};
 use asap_workloads::WorkloadKind;
-
-fn arg(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -46,9 +40,13 @@ fn main() {
         return;
     }
 
-    let model: ModelKind = arg(&args, "--model")
-        .map(|s| s.parse().expect("unknown model"))
-        .unwrap_or(ModelKind::Asap);
+    let model: ModelKind = match arg(&args, "--model") {
+        None => ModelKind::Asap,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: invalid value '{v}' for --model; known: hops|asap|eadr|bbb");
+            std::process::exit(2);
+        }),
+    };
     if model == ModelKind::Baseline {
         eprintln!(
             "race_check needs a model that records ordering evidence; \
@@ -56,27 +54,29 @@ fn main() {
         );
         std::process::exit(2);
     }
-    let flavor: Flavor = arg(&args, "--flavor")
-        .map(|s| s.parse().expect("unknown flavor"))
-        .unwrap_or(Flavor::Release);
+    let flavor: Flavor = match arg(&args, "--flavor") {
+        None => Flavor::Release,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: invalid value '{v}' for --flavor; known: ep|rp");
+            std::process::exit(2);
+        }),
+    };
     let defaults = AnalysisParams::default();
-    let threads: usize = arg(&args, "--threads")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(defaults.threads);
-    let ops: u64 = arg(&args, "--ops")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(defaults.ops_per_thread);
-    let seed: u64 = arg(&args, "--seed")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(defaults.seed);
-    let verbose = args.iter().any(|a| a == "-v");
+    let threads: usize = parse_arg_or(&args, "--threads", defaults.threads);
+    let ops: u64 = parse_arg_or(&args, "--ops", defaults.ops_per_thread);
+    let seed: u64 = parse_arg_or(&args, "--seed", defaults.seed);
+    let verbose = has_flag(&args, "-v");
 
-    let kinds: Vec<WorkloadKind> = if args.iter().any(|a| a == "--all-workloads") {
+    let kinds: Vec<WorkloadKind> = if has_flag(&args, "--all-workloads") {
         WorkloadKind::all().to_vec()
     } else {
-        vec![arg(&args, "--workload")
-            .map(|s| s.parse().expect("unknown workload"))
-            .unwrap_or(WorkloadKind::Cceh)]
+        vec![match arg(&args, "--workload") {
+            None => WorkloadKind::Cceh,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("error: invalid value '{v}' for --workload; see --help");
+                std::process::exit(2);
+            }),
+        }]
     };
 
     let config = SimConfig::builder()

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod args;
 pub mod experiments;
 pub mod hwcost;
 pub mod pool;
@@ -54,29 +55,32 @@ mod report;
 mod runner;
 
 pub use report::Table;
-pub use runner::{run_once, run_race_check, run_roi, run_window, RunOutcome, RunSpec};
+pub use runner::{run_once, run_race_check, run_roi, run_window, RunManifest, RunOutcome, RunSpec};
 
 /// Parse the shared CLI convention of the harness binaries:
 /// `--full` selects paper-scale runs (default: quick), `--seed N`
-/// overrides the RNG seed, and `--threads N` pins the sweep worker
+/// overrides the RNG seed, `--threads N` pins the sweep worker
 /// count (default: `ASAP_THREADS` or all available cores; see
-/// [`pool::num_workers`]).
+/// [`pool::num_workers`]) and `--progress` enables the stderr
+/// `N/M jobs, ETA …` line ([`pool::set_progress`]).
+///
+/// Malformed numeric values exit with status 2 and a diagnostic
+/// (see [`args`]) instead of silently running with defaults.
 pub fn cli_scale() -> experiments::ExperimentScale {
-    let args: Vec<String> = std::env::args().collect();
-    let mut scale = if args.iter().any(|a| a == "--full") {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut scale = if args::has_flag(&argv, "--full") {
         experiments::ExperimentScale::full()
     } else {
         experiments::ExperimentScale::quick()
     };
-    if let Some(i) = args.iter().position(|a| a == "--seed") {
-        if let Some(s) = args.get(i + 1).and_then(|v| v.parse().ok()) {
-            scale.seed = s;
-        }
+    if let Some(s) = args::parse_arg(&argv, "--seed") {
+        scale.seed = s;
     }
-    if let Some(i) = args.iter().position(|a| a == "--threads") {
-        if let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) {
-            pool::set_worker_override(n);
-        }
+    if let Some(n) = args::parse_arg(&argv, "--threads") {
+        pool::set_worker_override(n);
+    }
+    if args::has_flag(&argv, "--progress") {
+        pool::set_progress(true);
     }
     scale
 }

@@ -20,13 +20,21 @@
 //!    (the binaries' `--threads N` flag),
 //! 3. the `ASAP_THREADS` environment variable,
 //! 4. [`std::thread::available_parallelism`].
+//!
+//! With [`set_progress`] enabled (the binaries' `--progress` flag),
+//! sweeps print a throttled `N/M jobs, ETA …` line to stderr — stdout
+//! stays clean for piped table output.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
+use std::time::Instant;
 
 /// Process-wide worker-count override (0 = unset). See [`set_worker_override`].
 static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide progress-reporting toggle. See [`set_progress`].
+static PROGRESS: AtomicBool = AtomicBool::new(false);
 
 /// Pin the worker count for every subsequent [`par_map`] in this
 /// process (the harness binaries wire `--threads N` here). `0` clears
@@ -35,24 +43,80 @@ pub fn set_worker_override(n: usize) {
     WORKER_OVERRIDE.store(n, Ordering::Relaxed);
 }
 
-/// The worker count [`par_map`] will use: the
-/// [`set_worker_override`] value if set, else `ASAP_THREADS` if set to a
-/// positive integer, else [`std::thread::available_parallelism`].
-pub fn num_workers() -> usize {
-    let o = WORKER_OVERRIDE.load(Ordering::Relaxed);
-    if o > 0 {
-        return o;
+/// Enable (or disable) the stderr `N/M jobs, ETA …` progress line for
+/// every subsequent [`par_map`] in this process (the harness binaries
+/// wire `--progress` here). Off by default: progress output is for
+/// humans watching a long sweep, not for CI logs.
+pub fn set_progress(on: bool) {
+    PROGRESS.store(on, Ordering::Relaxed);
+}
+
+/// Whether [`set_progress`] reporting is currently enabled.
+pub fn progress_enabled() -> bool {
+    PROGRESS.load(Ordering::Relaxed)
+}
+
+/// Pure worker-count resolution: `override_` (a [`set_worker_override`]
+/// value, 0 = unset) wins, else a positive-integer `env` value
+/// (`ASAP_THREADS`), else `fallback` (available parallelism), floored
+/// at 1. Factored out of [`num_workers`] so the resolution order is
+/// testable without mutating process-global state.
+fn resolve_workers(override_: usize, env: Option<&str>, fallback: usize) -> usize {
+    if override_ > 0 {
+        return override_;
     }
-    if let Some(n) = std::env::var("ASAP_THREADS")
-        .ok()
+    if let Some(n) = env
         .and_then(|s| s.trim().parse::<usize>().ok())
         .filter(|&n| n > 0)
     {
         return n;
     }
-    thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    fallback.max(1)
+}
+
+/// The worker count [`par_map`] will use: the
+/// [`set_worker_override`] value if set, else `ASAP_THREADS` if set to a
+/// positive integer, else [`std::thread::available_parallelism`].
+pub fn num_workers() -> usize {
+    resolve_workers(
+        WORKER_OVERRIDE.load(Ordering::Relaxed),
+        std::env::var("ASAP_THREADS").ok().as_deref(),
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    )
+}
+
+/// Throttled stderr progress reporter shared by the pool's workers.
+struct Progress {
+    total: usize,
+    completed: AtomicUsize,
+    started: Instant,
+}
+
+impl Progress {
+    fn new(total: usize) -> Option<Progress> {
+        (progress_enabled() && total > 0).then(|| Progress {
+            total,
+            completed: AtomicUsize::new(0),
+            started: Instant::now(),
+        })
+    }
+
+    /// Mark one job done; prints at ~2% granularity and on the last job.
+    fn tick(&self) {
+        let done = self.completed.fetch_add(1, Ordering::Relaxed) + 1;
+        let step = (self.total / 50).max(1);
+        if !done.is_multiple_of(step) && done != self.total {
+            return;
+        }
+        let elapsed = self.started.elapsed();
+        let eta = elapsed.mul_f64((self.total - done) as f64 / done as f64);
+        eprint!("\r# {done}/{} jobs, ETA {eta:>8.1?}   ", self.total);
+        if done == self.total {
+            eprintln!();
+        }
+    }
 }
 
 /// Apply `f` to every item, running up to [`num_workers`] jobs
@@ -80,8 +144,16 @@ where
     F: Fn(&T) -> U + Sync,
 {
     let workers = workers.clamp(1, items.len().max(1));
+    let progress = Progress::new(items.len());
+    let run = |x: &T| {
+        let u = f(x);
+        if let Some(p) = &progress {
+            p.tick();
+        }
+        u
+    };
     if workers <= 1 || items.len() <= 1 {
-        return items.iter().map(&f).collect();
+        return items.iter().map(run).collect();
     }
 
     let cursor = AtomicUsize::new(0);
@@ -97,7 +169,7 @@ where
                     if i >= items.len() {
                         break;
                     }
-                    local.push((i, f(&items[i])));
+                    local.push((i, run(&items[i])));
                 }
                 done.lock().expect("no poisoned worker").extend(local);
             });
@@ -153,10 +225,21 @@ mod tests {
 
     #[test]
     fn worker_count_resolution() {
-        assert!(num_workers() >= 1);
-        set_worker_override(3);
-        assert_eq!(num_workers(), 3);
-        set_worker_override(0);
+        // Assert the resolution order through the pure function only:
+        // the old version mutated the process-global WORKER_OVERRIDE,
+        // racing sibling tests that call num_workers() concurrently.
+        assert_eq!(resolve_workers(3, Some("8"), 16), 3, "override wins");
+        assert_eq!(resolve_workers(0, Some("8"), 16), 8, "env next");
+        assert_eq!(resolve_workers(0, Some(" 8 "), 16), 8, "env trimmed");
+        assert_eq!(resolve_workers(0, Some("0"), 16), 16, "zero env ignored");
+        assert_eq!(
+            resolve_workers(0, Some("banana"), 16),
+            16,
+            "garbage env ignored"
+        );
+        assert_eq!(resolve_workers(0, None, 16), 16, "fallback last");
+        assert_eq!(resolve_workers(0, None, 0), 1, "floor of one");
+        // Read-only smoke check of the real environment path.
         assert!(num_workers() >= 1);
     }
 

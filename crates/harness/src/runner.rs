@@ -4,6 +4,7 @@
 use asap_core::{Flavor, ModelKind, SimBuilder};
 use asap_sim_core::{Cycle, SimConfig, Stats};
 use asap_workloads::{make_workload, WorkloadKind, WorkloadParams};
+use std::time::{Duration, Instant};
 
 /// Everything needed to reproduce one simulation.
 #[derive(Debug, Clone)]
@@ -40,10 +41,85 @@ impl RunSpec {
     }
 }
 
+/// Provenance block attached to every [`RunOutcome`]: everything needed
+/// to attribute a number in a report to the exact simulation that
+/// produced it, plus the host wall-clock time of the run.
+#[derive(Debug, Clone)]
+pub struct RunManifest {
+    /// Persistency hardware design.
+    pub model: ModelKind,
+    /// Persistency flavour (EP/RP).
+    pub flavor: Flavor,
+    /// Workload label.
+    pub workload: WorkloadKind,
+    /// Simulated thread count.
+    pub threads: usize,
+    /// Logical operations per thread.
+    pub ops_per_thread: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// [`SimConfig::digest`] of the hardware configuration.
+    pub config_digest: u64,
+    /// Host wall-clock duration of the run. Excluded from equality:
+    /// two runs of the same spec are the same run, however long the
+    /// host happened to take.
+    pub wall: Duration,
+}
+
+impl PartialEq for RunManifest {
+    fn eq(&self, other: &RunManifest) -> bool {
+        self.model == other.model
+            && self.flavor == other.flavor
+            && self.workload == other.workload
+            && self.threads == other.threads
+            && self.ops_per_thread == other.ops_per_thread
+            && self.seed == other.seed
+            && self.config_digest == other.config_digest
+    }
+}
+
+impl RunManifest {
+    /// Derive the provenance of `spec` (wall time is filled in when the
+    /// run finishes).
+    pub fn of_spec(spec: &RunSpec) -> RunManifest {
+        RunManifest {
+            model: spec.model,
+            flavor: spec.flavor,
+            workload: spec.workload,
+            threads: spec.config.num_cores,
+            ops_per_thread: spec.ops_per_thread,
+            seed: spec.seed,
+            config_digest: spec.config.digest(),
+            wall: Duration::ZERO,
+        }
+    }
+
+    /// Render as a single JSON object (hand-rolled; every field is a
+    /// number, a known label or a hex digest, so no escaping is needed).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"model\":\"{}\",\"flavor\":\"{}\",\"workload\":\"{}\",",
+                "\"threads\":{},\"ops_per_thread\":{},\"seed\":{},",
+                "\"config_digest\":\"{:016x}\",\"wall_ms\":{:.3}}}"
+            ),
+            self.model,
+            self.flavor,
+            self.workload,
+            self.threads,
+            self.ops_per_thread,
+            self.seed,
+            self.config_digest,
+            self.wall.as_secs_f64() * 1e3,
+        )
+    }
+}
+
 /// Metrics extracted from one finished (or truncated) run.
 ///
 /// Runs are deterministic, so two outcomes of the same [`RunSpec`]
-/// compare equal — the property the parallel-sweep tests pin down.
+/// compare equal — the property the parallel-sweep tests pin down (the
+/// manifest's wall-clock field is excluded from equality).
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunOutcome {
     /// End time in cycles.
@@ -60,6 +136,8 @@ pub struct RunOutcome {
     pub media_utilization: f64,
     /// Whether every thread retired (false for windowed runs).
     pub all_done: bool,
+    /// Provenance of the run (seed, config digest, model, wall time…).
+    pub manifest: RunManifest,
 }
 
 fn params_for(spec: &RunSpec) -> WorkloadParams {
@@ -79,10 +157,17 @@ fn build_sim(spec: &RunSpec) -> asap_core::Sim {
         .build()
 }
 
-fn outcome(sim: &mut asap_core::Sim, all_done: bool) -> RunOutcome {
+fn outcome(
+    sim: &mut asap_core::Sim,
+    all_done: bool,
+    spec: &RunSpec,
+    started: Instant,
+) -> RunOutcome {
     // The simulator is done measuring: move the stats out instead of
     // cloning the histograms (visible on multi-thousand-run sweeps).
     let stats = sim.take_stats();
+    let mut manifest = RunManifest::of_spec(spec);
+    manifest.wall = started.elapsed();
     RunOutcome {
         cycles: sim.now().raw(),
         ops: stats.ops_completed,
@@ -91,14 +176,16 @@ fn outcome(sim: &mut asap_core::Sim, all_done: bool) -> RunOutcome {
         media_utilization: sim.media_utilization(),
         all_done,
         stats,
+        manifest,
     }
 }
 
 /// Run the workload to completion and collect metrics.
 pub fn run_once(spec: &RunSpec) -> RunOutcome {
+    let started = Instant::now();
     let mut sim = build_sim(spec);
     let out = sim.run_to_completion();
-    outcome(&mut sim, out.all_done)
+    outcome(&mut sim, out.all_done, spec, started)
 }
 
 /// Run the workload to completion with the write journal enabled, then
@@ -107,6 +194,7 @@ pub fn run_once(spec: &RunSpec) -> RunOutcome {
 /// alongside the race report. Journalling costs memory proportional to
 /// the store count, so this is for analysis runs, not sweeps.
 pub fn run_race_check(spec: &RunSpec) -> (RunOutcome, asap_core::RaceReport) {
+    let started = Instant::now();
     let params = params_for(spec);
     let programs = make_workload(spec.workload, &params);
     let mut sim = SimBuilder::new(spec.config.clone(), spec.model, spec.flavor)
@@ -115,29 +203,31 @@ pub fn run_race_check(spec: &RunSpec) -> (RunOutcome, asap_core::RaceReport) {
         .build();
     let out = sim.run_to_completion();
     let report = sim.race_check();
-    (outcome(&mut sim, out.all_done), report)
+    (outcome(&mut sim, out.all_done, spec, started), report)
 }
 
 /// Run for a fixed simulated window (Figure 2 uses 1 ms) and collect
 /// metrics; the workload is sized by `spec.ops_per_thread` and should be
 /// large enough not to finish early (see [`RunSpec::windowed`]).
 pub fn run_window(spec: &RunSpec, window: Cycle) -> RunOutcome {
+    let started = Instant::now();
     let mut sim = build_sim(spec);
     let out = sim.run_for(window);
-    outcome(&mut sim, out.all_done)
+    outcome(&mut sim, out.all_done, spec, started)
 }
 
 /// Run with a warmup region: simulate `warmup` cycles, reset the
 /// statistics (gem5's warmup → ROI transition), then run to completion.
 /// The reported cycle count covers the ROI only.
 pub fn run_roi(spec: &RunSpec, warmup: Cycle) -> RunOutcome {
+    let started = Instant::now();
     let mut sim = build_sim(spec);
     sim.run_for(warmup);
     sim.reset_stats();
     let start = sim.now();
     let out = sim.run_to_completion();
     let end = sim.now();
-    let mut o = outcome(&mut sim, out.all_done);
+    let mut o = outcome(&mut sim, out.all_done, spec, started);
     o.cycles = end.raw().saturating_sub(start.raw());
     o
 }
@@ -204,5 +294,49 @@ mod tests {
         let a = run_once(&spec(ModelKind::Hops, WorkloadKind::PClht));
         let b = run_once(&spec(ModelKind::Hops, WorkloadKind::PClht));
         assert_eq!(a, b, "identical specs must give identical outcomes");
+    }
+
+    #[test]
+    fn manifest_captures_provenance_and_ignores_wall_time() {
+        let s = spec(ModelKind::Asap, WorkloadKind::Queue);
+        let out = run_once(&s);
+        let m = &out.manifest;
+        assert_eq!(m.model, ModelKind::Asap);
+        assert_eq!(m.flavor, Flavor::Release);
+        assert_eq!(m.workload, WorkloadKind::Queue);
+        assert_eq!(m.threads, 4);
+        assert_eq!(m.ops_per_thread, 20);
+        assert_eq!(m.seed, 7);
+        assert_eq!(m.config_digest, s.config.digest());
+
+        // Wall time varies run to run but must not break equality.
+        let mut other = m.clone();
+        other.wall = m.wall + std::time::Duration::from_secs(5);
+        assert_eq!(*m, other);
+        // Any provenance field difference must break it.
+        let mut diff = m.clone();
+        diff.seed = 8;
+        assert_ne!(*m, diff);
+    }
+
+    #[test]
+    fn manifest_json_shape() {
+        let s = spec(ModelKind::Hops, WorkloadKind::Queue);
+        let mut m = RunManifest::of_spec(&s);
+        m.wall = std::time::Duration::from_millis(12);
+        let j = m.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        for key in [
+            "\"model\":\"hops\"",
+            "\"flavor\":\"RP\"",
+            "\"workload\":\"queue\"",
+            "\"threads\":4",
+            "\"ops_per_thread\":20",
+            "\"seed\":7",
+            "\"config_digest\":\"",
+            "\"wall_ms\":12.000",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
     }
 }

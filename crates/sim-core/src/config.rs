@@ -249,6 +249,22 @@ impl SimConfig {
     pub fn mc_of_addr(&self, addr: u64) -> usize {
         ((addr / self.interleave_bytes) % self.num_mcs as u64) as usize
     }
+
+    /// A 64-bit digest over every configuration field (FNV-1a of the
+    /// canonical `Debug` rendering), recorded in run manifests so a
+    /// result can be attributed to the exact hardware configuration
+    /// that produced it. Stable across runs and platforms for a given
+    /// source version; not guaranteed stable across code changes that
+    /// add or rename fields (which is the point — a changed
+    /// configuration shape yields a new digest).
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in format!("{self:?}").bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
 }
 
 impl Default for SimConfig {
@@ -433,6 +449,17 @@ mod tests {
         assert!(SimConfig::builder().interleave_bytes(32).build().is_err());
         assert!(SimConfig::builder().pb_entries(0).build().is_err());
         assert!(SimConfig::builder().pb_max_inflight(0).build().is_err());
+    }
+
+    #[test]
+    fn digest_distinguishes_configs() {
+        let a = SimConfig::paper();
+        let b = SimConfig::paper();
+        assert_eq!(a.digest(), b.digest());
+        let c = SimConfig::builder().cores(8).build().unwrap();
+        assert_ne!(a.digest(), c.digest());
+        let d = SimConfig::builder().nvm_write_ns(45).build().unwrap();
+        assert_ne!(a.digest(), d.digest());
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //!   histograms used by Figures 11 and 12.
 //! * [`DetRng`] — a seeded deterministic random number generator so every
 //!   experiment is exactly reproducible.
+//! * [`Tracer`] — structured trace sinks ([`NullTracer`], [`TextTracer`],
+//!   Chrome/Perfetto-format [`ChromeTracer`]) fed typed [`TraceRecord`]s
+//!   by the engine, and [`Sampler`] — a periodic occupancy/bandwidth
+//!   time-series recorder. Both observe only; they never schedule
+//!   simulation work, so determinism is untouched.
 //!
 //! # Example
 //!
@@ -37,12 +42,19 @@ mod config;
 mod events;
 mod ids;
 mod rng;
+mod sample;
 mod stats;
 mod time;
+mod trace;
 
 pub use config::{ConfigError, Flavor, ModelKind, SimConfig, SimConfigBuilder};
 pub use events::EventQueue;
 pub use ids::{EpochId, LineAddr, McId, ThreadId, CACHE_LINE_BYTES, CACHE_LINE_SHIFT};
 pub use rng::DetRng;
+pub use sample::Sampler;
 pub use stats::{Histogram, RunningStat, StatSnapshot, Stats};
 pub use time::{Cycle, CYCLES_PER_NS};
+pub use trace::{
+    env_trace_enabled, render_record, trace_value_enables, ChromeTracer, NullTracer, SharedBuf,
+    TextTracer, TraceRecord, Tracer,
+};

@@ -1,0 +1,124 @@
+//! Periodic time-series sampling of speculative-state occupancy.
+//!
+//! Loose-Ordering Consistency-style analyses need occupancy *over time*
+//! — a persist buffer that averages 20% full but saturates in bursts
+//! behaves very differently from a steady 20%. The [`Sampler`] records
+//! one CSV row every `every` cycles with persist-buffer, epoch-table,
+//! recovery-table and WPQ occupancy plus per-MC NVM write bandwidth
+//! (media writes during the interval).
+//!
+//! Like the trace sinks, the sampler **observes, never schedules
+//! simulation work**: the engine interleaves dedicated sample events
+//! that read state and write a row, and those events exist only when a
+//! sampler is attached, so an unsampled run's event stream — and its
+//! golden fixtures — are untouched.
+//!
+//! Diagnostics-mode caveat: with a sampler attached the event queue
+//! never runs dry, so a deadlocked simulation surfaces as an
+//! event-budget panic rather than the usual "no events pending" panic.
+
+use crate::time::Cycle;
+use std::io::Write;
+
+/// Writes one CSV row of occupancy/bandwidth figures every `every`
+/// cycles. I/O errors are ignored (sampling must never abort a
+/// simulation).
+pub struct Sampler {
+    every: Cycle,
+    out: Box<dyn Write + Send>,
+    last_writes: Vec<u64>,
+    header_done: bool,
+}
+
+impl Sampler {
+    /// Sample every `every` cycles (must be non-zero) into `out`.
+    ///
+    /// # Panics
+    /// If `every` is zero.
+    pub fn new(every: Cycle, out: Box<dyn Write + Send>) -> Sampler {
+        assert!(every.raw() > 0, "sample interval must be non-zero");
+        Sampler {
+            every,
+            out,
+            last_writes: Vec::new(),
+            header_done: false,
+        }
+    }
+
+    /// The sampling interval.
+    pub fn every(&self) -> Cycle {
+        self.every
+    }
+
+    /// Record one sample row.
+    ///
+    /// `pb`/`et` are summed occupancy across cores, `rt`/`wpq` summed
+    /// across MCs, and `media_writes` the *cumulative* per-MC media
+    /// write counts — the sampler differences successive calls into
+    /// per-interval write counts (`mc<i>_wr` columns), i.e. NVM write
+    /// bandwidth in writes per interval.
+    pub fn row(
+        &mut self,
+        at: Cycle,
+        pb: usize,
+        et: usize,
+        rt: usize,
+        wpq: usize,
+        media_writes: &[u64],
+    ) {
+        if !self.header_done {
+            self.header_done = true;
+            self.last_writes = vec![0; media_writes.len()];
+            let mut header = String::from("cycle,pb,et,rt,wpq");
+            for i in 0..media_writes.len() {
+                header.push_str(&format!(",mc{i}_wr"));
+            }
+            let _ = writeln!(self.out, "{header}");
+        }
+        let mut line = format!("{},{pb},{et},{rt},{wpq}", at.raw());
+        for (i, &w) in media_writes.iter().enumerate() {
+            let prev = self.last_writes.get(i).copied().unwrap_or(0);
+            line.push_str(&format!(",{}", w.saturating_sub(prev)));
+        }
+        self.last_writes.clear();
+        self.last_writes.extend_from_slice(media_writes);
+        let _ = writeln!(self.out, "{line}");
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SharedBuf;
+
+    #[test]
+    fn emits_header_once_and_differences_bandwidth() {
+        let buf = SharedBuf::new();
+        let mut s = Sampler::new(Cycle(100), Box::new(buf.clone()));
+        s.row(Cycle(100), 3, 1, 0, 2, &[10, 0]);
+        s.row(Cycle(200), 4, 2, 1, 1, &[25, 5]);
+        drop(s);
+        let text = buf.contents_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "cycle,pb,et,rt,wpq,mc0_wr,mc1_wr",
+                "100,3,1,0,2,10,0",
+                "200,4,2,1,1,15,5",
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_interval_rejected() {
+        let _ = Sampler::new(Cycle(0), Box::new(SharedBuf::new()));
+    }
+}

@@ -114,11 +114,23 @@ impl Histogram {
 }
 
 /// Streaming mean/max tracker for unbounded quantities.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunningStat {
     sum: f64,
     n: u64,
+    // Seeded with -inf so all-negative observation streams still
+    // surface their true maximum (a 0.0 seed silently clamped them).
     max: f64,
+}
+
+impl Default for RunningStat {
+    fn default() -> RunningStat {
+        RunningStat {
+            sum: 0.0,
+            n: 0,
+            max: f64::NEG_INFINITY,
+        }
+    }
 }
 
 impl RunningStat {
@@ -147,7 +159,11 @@ impl RunningStat {
 
     /// Maximum observation (0.0 if none).
     pub fn max(&self) -> f64 {
-        self.max
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
     }
 
     /// Number of observations.
@@ -405,6 +421,71 @@ mod tests {
     }
 
     #[test]
+    fn histogram_percentile_zero_is_smallest_recorded_value() {
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(5);
+        h.record(9);
+        // p=0 clamps to rank 1: the smallest recorded value, not bucket 0.
+        assert_eq!(h.percentile(0.0), 3);
+        let empty = Histogram::new();
+        assert_eq!(empty.percentile(0.0), 0);
+    }
+
+    #[test]
+    fn histogram_weighted_boundary_ranks() {
+        // 90 samples at 0, 10 samples at 10: the 90th percentile's rank
+        // lands exactly on the last 0-sample; the first rank past it
+        // must move to the next bucket.
+        let mut h = Histogram::new();
+        h.record_weighted(0, 90);
+        h.record_weighted(10, 10);
+        assert_eq!(h.percentile(90.0), 0);
+        assert_eq!(h.percentile(90.5), 10);
+        assert_eq!(h.percentile(91.0), 10);
+        assert_eq!(h.percentile(100.0), 10);
+        // A single-sample histogram answers every percentile with it.
+        let mut one = Histogram::new();
+        one.record(7);
+        assert_eq!(one.percentile(0.0), 7);
+        assert_eq!(one.percentile(50.0), 7);
+        assert_eq!(one.percentile(100.0), 7);
+    }
+
+    #[test]
+    fn histogram_merge_is_commutative() {
+        let mut a = Histogram::new();
+        a.record_weighted(0, 40);
+        a.record_weighted(2, 3);
+        a.record(7);
+        let mut b = Histogram::new();
+        b.record_weighted(1, 12);
+        b.record_weighted(9, 2);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+
+        assert_eq!(ab.count(), ba.count());
+        assert_eq!(ab.max(), ba.max());
+        assert!((ab.mean() - ba.mean()).abs() < 1e-12);
+        for p in [0.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            assert_eq!(ab.percentile(p), ba.percentile(p), "p{p}");
+        }
+        // And associative with a third operand.
+        let mut c = Histogram::new();
+        c.record_weighted(4, 5);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+    }
+
+    #[test]
     fn running_stat() {
         let mut r = RunningStat::new();
         assert_eq!(r.mean(), 0.0);
@@ -413,6 +494,20 @@ mod tests {
         assert_eq!(r.mean(), 3.0);
         assert_eq!(r.max(), 4.0);
         assert_eq!(r.count(), 2);
+    }
+
+    #[test]
+    fn running_stat_max_of_all_negative_observations() {
+        // Regression: max was seeded with 0.0, so a stream of negative
+        // observations reported max = 0.0 instead of the largest one.
+        let mut r = RunningStat::new();
+        r.record(-5.0);
+        r.record(-2.5);
+        r.record(-9.0);
+        assert_eq!(r.max(), -2.5);
+        assert_eq!(r.count(), 3);
+        // Empty trackers still answer 0.0, matching mean()'s convention.
+        assert_eq!(RunningStat::new().max(), 0.0);
     }
 
     #[test]
