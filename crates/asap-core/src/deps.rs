@@ -11,9 +11,32 @@
 //! The graph also records which epochs committed before a crash, which the
 //! [`oracle`](crate::oracle) needs to verify Lemma 1.1 (committed epochs
 //! are durable).
+//!
+//! ## Storage
+//!
+//! Per-thread epoch timestamps are small consecutive integers (the engine
+//! opens them with `cur_ts + 1`), so all per-epoch state lives in dense
+//! per-thread vectors indexed by timestamp — no hashing on the
+//! register/commit hot path, and every iterator walks threads in id order
+//! and epochs in timestamp order, keeping iteration deterministic.
 
 use asap_sim_core::{EpochId, ThreadId};
 use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Per-epoch record, indexed by `[thread][ts]`.
+#[derive(Debug, Clone, Default)]
+struct EpochSlot {
+    /// Whether this epoch was ever registered (the vectors grow past
+    /// unregistered timestamps when a later epoch is ensured first).
+    exists: bool,
+    committed: bool,
+    /// Cross-thread source epochs this epoch depends on.
+    cross: Vec<EpochId>,
+    /// Clock value at which the epoch was first registered.
+    created_at: Option<u64>,
+    /// Clock value at which the epoch committed.
+    committed_at: Option<u64>,
+}
 
 /// The epoch dependency graph of one simulation run.
 ///
@@ -34,13 +57,10 @@ use std::collections::{HashMap, HashSet, VecDeque};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct DepGraph {
-    /// epoch -> epochs it depends on (cross-thread only; intra-thread
-    /// edges are implicit in the timestamp order and added on demand).
-    cross: HashMap<EpochId, Vec<EpochId>>,
-    /// All epochs ever seen, per thread, as the maximum timestamp.
-    max_ts: HashMap<ThreadId, u64>,
-    committed: HashSet<EpochId>,
-    nodes: HashSet<EpochId>,
+    /// Dense per-thread epoch state, indexed `[thread.0][ts]`.
+    threads: Vec<Vec<EpochSlot>>,
+    /// Registered-epoch count (slots with `exists`).
+    num_epochs: usize,
     /// Monotonic registration/commit clock. The simulator is
     /// single-threaded, so "epoch A committed before epoch B was even
     /// created" is a sound real-time ordering witness: every write of A
@@ -49,10 +69,6 @@ pub struct DepGraph {
     /// cannot order (edges are only recorded when the hardware needs
     /// them — an already-committed source epoch never gets one).
     clock: u64,
-    /// Clock value at which each epoch was first registered.
-    created_at: HashMap<EpochId, u64>,
-    /// Clock value at which each epoch committed.
-    committed_at: HashMap<EpochId, u64>,
 }
 
 impl DepGraph {
@@ -61,15 +77,31 @@ impl DepGraph {
         DepGraph::default()
     }
 
+    #[inline]
+    fn slot(&self, e: EpochId) -> Option<&EpochSlot> {
+        self.threads
+            .get(e.thread.0)?
+            .get(e.ts as usize)
+            .filter(|s| s.exists)
+    }
+
     /// Register an epoch as existing.
     pub fn ensure(&mut self, e: EpochId) {
-        if self.nodes.insert(e) {
-            let m = self.max_ts.entry(e.thread).or_insert(e.ts);
-            if e.ts > *m {
-                *m = e.ts;
-            }
+        let t = e.thread.0;
+        if t >= self.threads.len() {
+            self.threads.resize_with(t + 1, Vec::new);
+        }
+        let ts = e.ts as usize;
+        let lane = &mut self.threads[t];
+        if ts >= lane.len() {
+            lane.resize_with(ts + 1, EpochSlot::default);
+        }
+        let slot = &mut lane[ts];
+        if !slot.exists {
+            slot.exists = true;
             self.clock += 1;
-            self.created_at.insert(e, self.clock);
+            slot.created_at = Some(self.clock);
+            self.num_epochs += 1;
         }
     }
 
@@ -78,58 +110,73 @@ impl DepGraph {
     pub fn add_cross_dep(&mut self, dependent: EpochId, source: EpochId) {
         self.ensure(dependent);
         self.ensure(source);
-        self.cross.entry(dependent).or_default().push(source);
+        self.threads[dependent.thread.0][dependent.ts as usize]
+            .cross
+            .push(source);
     }
 
     /// Mark an epoch committed.
     pub fn mark_committed(&mut self, e: EpochId) {
         self.ensure(e);
-        if self.committed.insert(e) {
+        let slot = &mut self.threads[e.thread.0][e.ts as usize];
+        if !slot.committed {
+            slot.committed = true;
             self.clock += 1;
-            self.committed_at.insert(e, self.clock);
+            slot.committed_at = Some(self.clock);
         }
     }
 
     /// Whether an epoch committed before the end of the run.
     pub fn is_committed(&self, e: EpochId) -> bool {
-        self.committed.contains(&e)
+        self.slot(e).is_some_and(|s| s.committed)
     }
 
-    /// All committed epochs.
-    pub fn committed(&self) -> impl Iterator<Item = &EpochId> {
-        self.committed.iter()
+    /// All committed epochs, in (thread, timestamp) order.
+    pub fn committed(&self) -> impl Iterator<Item = EpochId> + '_ {
+        self.iter_slots()
+            .filter(|&(_, s)| s.committed)
+            .map(|(e, _)| e)
     }
 
     /// Number of registered epochs.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.num_epochs
     }
 
     /// Whether the graph is empty.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.num_epochs == 0
     }
 
-    /// All registered epochs (unordered).
-    pub fn nodes(&self) -> impl Iterator<Item = &EpochId> {
-        self.nodes.iter()
+    /// All registered epochs, in (thread, timestamp) order.
+    pub fn nodes(&self) -> impl Iterator<Item = EpochId> + '_ {
+        self.iter_slots().map(|(e, _)| e)
+    }
+
+    fn iter_slots(&self) -> impl Iterator<Item = (EpochId, &EpochSlot)> + '_ {
+        self.threads.iter().enumerate().flat_map(|(t, lane)| {
+            lane.iter()
+                .enumerate()
+                .filter(|(_, s)| s.exists)
+                .map(move |(ts, s)| (EpochId::new(ThreadId(t), ts as u64), s))
+        })
     }
 
     /// Recorded cross-thread dependencies of `e` (excluding the implicit
     /// same-thread predecessor).
     pub fn cross_deps_of(&self, e: EpochId) -> &[EpochId] {
-        self.cross.get(&e).map(Vec::as_slice).unwrap_or(&[])
+        self.slot(e).map(|s| s.cross.as_slice()).unwrap_or(&[])
     }
 
     /// Registration-clock stamp of `e` (see the `clock` field), if `e`
     /// was ever registered.
     pub fn creation_stamp(&self, e: EpochId) -> Option<u64> {
-        self.created_at.get(&e).copied()
+        self.slot(e).and_then(|s| s.created_at)
     }
 
     /// Commit-clock stamp of `e`, if `e` committed.
     pub fn commit_stamp(&self, e: EpochId) -> Option<u64> {
-        self.committed_at.get(&e).copied()
+        self.slot(e).and_then(|s| s.committed_at)
     }
 
     /// Current value of the registration/commit clock. The engine stamps
@@ -157,9 +204,7 @@ impl DepGraph {
         if e.ts > 0 {
             out.push(EpochId::new(e.thread, e.ts - 1));
         }
-        if let Some(cs) = self.cross.get(&e) {
-            out.extend(cs.iter().copied());
-        }
+        out.extend(self.cross_deps_of(e).iter().copied());
         out
     }
 
@@ -177,12 +222,12 @@ impl DepGraph {
 
     /// All nodes reachable as dependencies plus registered nodes.
     fn all_nodes(&self) -> HashSet<EpochId> {
-        let mut nodes = self.nodes.clone();
+        let mut nodes: HashSet<EpochId> = self.nodes().collect();
         // Intra-thread predecessors of registered nodes (ts gaps cannot
         // occur, but be permissive).
-        for (&t, &m) in &self.max_ts {
-            for ts in 0..=m {
-                nodes.insert(EpochId::new(t, ts));
+        for (t, lane) in self.threads.iter().enumerate() {
+            for ts in 0..lane.len() {
+                nodes.insert(EpochId::new(ThreadId(t), ts as u64));
             }
         }
         nodes
@@ -315,7 +360,7 @@ mod tests {
     fn nodes_and_cross_deps_accessors() {
         let mut g = DepGraph::new();
         g.add_cross_dep(ep(1, 1), ep(0, 3));
-        let mut ns: Vec<EpochId> = g.nodes().copied().collect();
+        let mut ns: Vec<EpochId> = g.nodes().collect();
         ns.sort();
         assert_eq!(ns, vec![ep(0, 3), ep(1, 1)]);
         assert_eq!(g.cross_deps_of(ep(1, 1)), &[ep(0, 3)]);
@@ -329,5 +374,17 @@ mod tests {
         g.ensure(ep(0, 0));
         g.ensure(ep(0, 0));
         assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn unregistered_gap_slots_are_invisible() {
+        // Ensuring ts=3 grows the lane past 0..2; those gap slots must
+        // not count as registered nodes.
+        let mut g = DepGraph::new();
+        g.ensure(ep(0, 3));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.nodes().collect::<Vec<_>>(), vec![ep(0, 3)]);
+        assert_eq!(g.creation_stamp(ep(0, 1)), None);
+        assert!(!g.is_committed(ep(0, 1)));
     }
 }

@@ -17,9 +17,16 @@
 //!
 //! Epochs commit strictly in per-thread timestamp order, which is what
 //! lets the recovery tables avoid comparing timestamps (§V-C).
+//!
+//! Per-thread epoch timestamps are consecutive (`split_epoch` /
+//! `open_next_epoch` advance by exactly 1) and commits remove only the
+//! oldest entry, so the table is a dense ring: a `VecDeque` of entries
+//! whose front is `base_ts`. Every lookup is `ts - base_ts` — no ordered
+//! map, no hashing — and iteration from the front is timestamp order by
+//! construction.
 
 use asap_sim_core::{EpochId, McId, ThreadId};
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 /// Status of one epoch as seen by its thread's table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,7 +73,14 @@ struct EpochEntry {
 #[derive(Debug, Clone)]
 pub struct EpochTable {
     thread: ThreadId,
-    entries: BTreeMap<u64, EpochEntry>,
+    /// In-flight epochs, oldest first; entry `i` is epoch `base_ts + i`.
+    entries: VecDeque<EpochEntry>,
+    /// Timestamp of the front entry (or of the next epoch to open when
+    /// the table is empty).
+    base_ts: u64,
+    /// Whether any epoch has ever been opened (fixes `base_ts` on first
+    /// open).
+    opened_any: bool,
     capacity: usize,
     last_committed: Option<u64>,
     max_occupancy: usize,
@@ -77,7 +91,9 @@ impl EpochTable {
     pub fn new(thread: ThreadId, capacity: usize) -> EpochTable {
         EpochTable {
             thread,
-            entries: BTreeMap::new(),
+            entries: VecDeque::with_capacity(capacity + 1),
+            base_ts: 0,
+            opened_any: false,
             capacity,
             last_committed: None,
             max_occupancy: 0,
@@ -110,6 +126,16 @@ impl EpochTable {
         self.max_occupancy
     }
 
+    /// Position of epoch `ts` in the deque, if in flight.
+    fn index_of(&self, ts: u64) -> Option<usize> {
+        let off = ts.checked_sub(self.base_ts)?;
+        ((off as usize) < self.entries.len()).then_some(off as usize)
+    }
+
+    fn entry(&self, ts: u64) -> Option<&EpochEntry> {
+        self.index_of(ts).map(|i| &self.entries[i])
+    }
+
     /// Create the entry for epoch `ts`.
     ///
     /// # Panics
@@ -135,16 +161,23 @@ impl EpochTable {
     ///
     /// # Panics
     ///
-    /// Panics if the epoch already exists.
+    /// Panics if the epoch already exists or is not the next consecutive
+    /// timestamp (per-thread epochs open in order).
     pub fn force_open(&mut self, ts: u64) {
-        let prev = self.entries.insert(ts, EpochEntry::default());
-        assert!(prev.is_none(), "epoch {ts} opened twice");
+        if !self.opened_any && self.entries.is_empty() {
+            self.base_ts = ts;
+            self.opened_any = true;
+        }
+        let next = self.base_ts + self.entries.len() as u64;
+        assert!(ts >= next, "epoch {ts} opened twice");
+        assert_eq!(ts, next, "epochs must open in consecutive ts order");
+        self.entries.push_back(EpochEntry::default());
         self.max_occupancy = self.max_occupancy.max(self.entries.len());
     }
 
     /// Status of epoch `ts`.
     pub fn status(&self, ts: u64) -> EpochStatus {
-        if self.entries.contains_key(&ts) {
+        if self.index_of(ts).is_some() {
             EpochStatus::InFlight
         } else if self.last_committed.is_some_and(|c| ts <= c) {
             EpochStatus::Committed
@@ -154,9 +187,10 @@ impl EpochTable {
     }
 
     fn entry_mut(&mut self, ts: u64) -> &mut EpochEntry {
-        self.entries
-            .get_mut(&ts)
-            .unwrap_or_else(|| panic!("epoch {ts} not in table"))
+        match self.index_of(ts) {
+            Some(i) => &mut self.entries[i],
+            None => panic!("epoch {ts} not in table"),
+        }
     }
 
     /// A write of epoch `ts` entered the persist buffer.
@@ -168,12 +202,12 @@ impl EpochTable {
 
     /// Whether epoch `ts` ever received a write (pending or acked).
     pub fn has_writes(&self, ts: u64) -> bool {
-        self.entries.get(&ts).is_some_and(|e| e.writes_total > 0)
+        self.entry(ts).is_some_and(|e| e.writes_total > 0)
     }
 
     /// Whether epoch `ts` has been closed by a barrier or split.
     pub fn is_closed(&self, ts: u64) -> bool {
-        self.entries.get(&ts).is_some_and(|e| e.closed)
+        self.entry(ts).is_some_and(|e| e.closed)
     }
 
     /// A write of epoch `ts` was acked by a memory controller.
@@ -185,7 +219,7 @@ impl EpochTable {
 
     /// Writes of epoch `ts` still unacked.
     pub fn pending_writes(&self, ts: u64) -> usize {
-        self.entries.get(&ts).map_or(0, |e| e.pending_writes)
+        self.entry(ts).map_or(0, |e| e.pending_writes)
     }
 
     /// Mark epoch `ts` closed (a barrier or dependency split ended it).
@@ -206,14 +240,14 @@ impl EpochTable {
 
     /// Whether epoch `ts` has any cross dependency recorded.
     pub fn has_dep(&self, ts: u64) -> bool {
-        self.entries.get(&ts).is_some_and(|e| !e.deps.is_empty())
+        self.entry(ts).is_some_and(|e| !e.deps.is_empty())
     }
 
     /// A CDR message arrived: resolve every dependency on `src`.
     /// Returns whether anything was resolved.
     pub fn resolve_dep(&mut self, src: EpochId) -> bool {
         let mut any = false;
-        for e in self.entries.values_mut() {
+        for e in self.entries.iter_mut() {
             for d in e.deps.iter_mut() {
                 if d.0 == src && !d.1 {
                     d.1 = true;
@@ -228,14 +262,14 @@ impl EpochTable {
     /// dependencies, if any, are all resolved). Used to retry NACKed
     /// persist-buffer entries as safe flushes.
     pub fn oldest_safe_ts(&self) -> Option<u64> {
-        let (&ts, e) = self.entries.iter().next()?;
-        e.deps.iter().all(|&(_, r)| r).then_some(ts)
+        let e = self.entries.front()?;
+        e.deps.iter().all(|&(_, r)| r).then_some(self.base_ts)
     }
 
     /// The unresolved dependency of the *oldest* epoch, if that is what
     /// blocks it (drives HOPS polling).
     pub fn oldest_unresolved_dep(&self) -> Option<EpochId> {
-        let (_, e) = self.entries.iter().next()?;
+        let e = self.entries.front()?;
         e.deps.iter().find(|&&(_, r)| !r).map(|&(s, _)| s)
     }
 
@@ -264,8 +298,8 @@ impl EpochTable {
             EpochStatus::Committed => true,
             EpochStatus::Unknown => false,
             EpochStatus::InFlight => {
-                let (&oldest, e) = self.entries.iter().next().expect("in flight");
-                oldest == ts && e.deps.iter().all(|&(_, r)| r)
+                let e = self.entries.front().expect("in flight");
+                self.base_ts == ts && e.deps.iter().all(|&(_, r)| r)
             }
         }
     }
@@ -275,15 +309,14 @@ impl EpochTable {
     pub fn is_committable(&self, ts: u64) -> bool {
         self.is_safe(ts)
             && self
-                .entries
-                .get(&ts)
+                .entry(ts)
                 .is_some_and(|e| e.closed && e.pending_writes == 0 && !e.committing)
     }
 
     /// The oldest epoch if it is committable.
     pub fn commit_candidate(&self) -> Option<u64> {
-        let (&ts, _) = self.entries.iter().next()?;
-        self.is_committable(ts).then_some(ts)
+        self.entries.front()?;
+        self.is_committable(self.base_ts).then_some(self.base_ts)
     }
 
     /// Begin the commit protocol for epoch `ts`: returns the MCs that must
@@ -314,10 +347,11 @@ impl EpochTable {
     /// Panics if `ts` is not the oldest in-flight epoch (commits are in
     /// order) or writes are still pending.
     pub fn finish_commit(&mut self, ts: u64) -> Vec<ThreadId> {
-        let (&oldest, _) = self.entries.iter().next().expect("entry exists");
-        assert_eq!(oldest, ts, "commits must be in timestamp order");
-        let e = self.entries.remove(&ts).expect("entry exists");
+        assert!(!self.entries.is_empty(), "entry exists");
+        assert_eq!(self.base_ts, ts, "commits must be in timestamp order");
+        let e = self.entries.pop_front().expect("entry exists");
         assert_eq!(e.pending_writes, 0);
+        self.base_ts += 1;
         self.last_committed = Some(ts);
         e.dependents
     }
@@ -428,6 +462,15 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "opened twice")]
+    fn reopening_panics() {
+        let mut t = et();
+        t.open(0);
+        t.open(1);
+        t.open(1);
+    }
+
+    #[test]
     #[should_panic(expected = "timestamp order")]
     fn out_of_order_commit_panics() {
         let mut t = et();
@@ -442,5 +485,18 @@ mod tests {
         let t = et();
         assert_eq!(t.status(9), EpochStatus::Unknown);
         assert!(!t.is_safe(9));
+    }
+
+    #[test]
+    fn table_reopens_after_draining_empty() {
+        let mut t = et();
+        t.open(0);
+        t.close(0);
+        t.begin_commit(0);
+        t.finish_commit(0);
+        assert!(t.is_empty());
+        t.open(1); // next consecutive ts after drain
+        assert_eq!(t.status(1), EpochStatus::InFlight);
+        assert_eq!(t.status(0), EpochStatus::Committed);
     }
 }

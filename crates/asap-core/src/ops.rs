@@ -24,7 +24,7 @@
 //! should make the program emit a small spin/backoff burst and retry on
 //! the next call.
 
-use asap_pm_mem::{LineSnapshot, PmSpace, WriteJournal, WriteSeq};
+use asap_pm_mem::{LineSnapshot, PmSpace, SnapshotPool, WriteJournal, WriteSeq};
 use asap_sim_core::{LineAddr, ThreadId};
 
 /// One timed micro-operation produced by a workload burst.
@@ -129,6 +129,9 @@ pub enum BurstStatus {
 pub struct BurstCtx<'a> {
     pm: &'a mut PmSpace,
     journal: &'a mut WriteJournal,
+    /// Recycled snapshot boxes for store payloads (the engine passes its
+    /// pool; standalone contexts allocate fresh).
+    pool: Option<&'a mut SnapshotPool>,
     ops: Vec<MemOp>,
     ops_completed: u64,
     preinit_lines: Vec<LineAddr>,
@@ -141,6 +144,24 @@ impl<'a> BurstCtx<'a> {
         BurstCtx {
             pm,
             journal,
+            pool: None,
+            ops: Vec::new(),
+            ops_completed: 0,
+            preinit_lines: Vec::new(),
+        }
+    }
+
+    /// Like [`BurstCtx::new`], with store payload boxes drawn from (and
+    /// eventually recycled to) `pool`.
+    pub fn with_pool(
+        pm: &'a mut PmSpace,
+        journal: &'a mut WriteJournal,
+        pool: &'a mut SnapshotPool,
+    ) -> BurstCtx<'a> {
+        BurstCtx {
+            pm,
+            journal,
+            pool: Some(pool),
             ops: Vec::new(),
             ops_completed: 0,
             preinit_lines: Vec::new(),
@@ -170,7 +191,11 @@ impl<'a> BurstCtx<'a> {
         let line = LineAddr::containing(addr);
         let snap = self.pm.snapshot_line(line);
         let seq = self.journal.record(line, snap);
-        (seq, Box::new(snap))
+        let data = match self.pool.as_mut() {
+            Some(p) => p.take(snap),
+            None => Box::new(snap),
+        };
+        (seq, data)
     }
 
     /// Functional write + timed store.
@@ -341,6 +366,19 @@ pub trait ThreadProgram {
     /// Human-readable program name for reports.
     fn name(&self) -> &str {
         "anonymous"
+    }
+
+    /// Clone this program into a fresh, pristine box, if the program
+    /// supports it.
+    ///
+    /// Programs are stateful generators, so a sweep cannot replay a
+    /// recorded trace — but it *can* stamp out copies of a
+    /// pristine (never-run) program set instead of re-running the
+    /// constructors for every sweep point. The workload suite overrides
+    /// this with a derived `Clone`; ad-hoc test programs (closures,
+    /// fixtures) keep the default `None` and are simply rebuilt.
+    fn boxed_clone(&self) -> Option<Box<dyn ThreadProgram>> {
+        None
     }
 }
 

@@ -26,8 +26,48 @@
 
 use crate::deps::DepGraph;
 use asap_pm_mem::{NvmImage, WriteJournal};
-use asap_sim_core::{EpochId, LineAddr};
-use std::collections::{HashMap, HashSet};
+use asap_sim_core::{EpochId, LineAddr, ThreadId};
+
+/// Dense per-thread, per-timestamp table keyed by `EpochId` (timestamps
+/// are small consecutive integers, so `[thread][ts]` indexing replaces
+/// the hash maps this check used to build). Iteration is thread-major,
+/// timestamp-minor, which makes the violation report order deterministic.
+struct EpochDense<T> {
+    threads: Vec<Vec<T>>,
+}
+
+impl<T: Default> EpochDense<T> {
+    fn new() -> EpochDense<T> {
+        EpochDense {
+            threads: Vec::new(),
+        }
+    }
+
+    fn get_mut(&mut self, e: EpochId) -> &mut T {
+        let t = e.thread.0;
+        if t >= self.threads.len() {
+            self.threads.resize_with(t + 1, Vec::new);
+        }
+        let lane = &mut self.threads[t];
+        let ts = e.ts as usize;
+        if ts >= lane.len() {
+            lane.resize_with(ts + 1, T::default);
+        }
+        &mut lane[ts]
+    }
+
+    fn get(&self, e: EpochId) -> Option<&T> {
+        self.threads.get(e.thread.0)?.get(e.ts as usize)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (EpochId, &T)> + '_ {
+        self.threads.iter().enumerate().flat_map(|(t, lane)| {
+            lane.iter()
+                .enumerate()
+                .map(move |(ts, v)| (EpochId::new(ThreadId(t), ts as u64), v))
+        })
+    }
+}
 
 /// Result of a crash-consistency check.
 #[derive(Debug, Clone, Default)]
@@ -67,21 +107,23 @@ pub fn check(journal: &WriteJournal, deps: &DepGraph, nvm: &NvmImage) -> CrashRe
             .push("epoch dependency graph contains a cycle (Lemma 0.1 violated)".to_string());
     }
 
-    // Per-epoch write sets: epoch -> line -> last (max-seq) write.
-    let mut epoch_writes: HashMap<EpochId, HashMap<LineAddr, u64>> = HashMap::new();
+    // Per-epoch write sets: epoch -> [(line, last (max-seq) write)],
+    // lines in first-write order.
+    let mut epoch_writes: EpochDense<Vec<(LineAddr, u64)>> = EpochDense::new();
     for e in journal.entries() {
         let Some(epoch) = e.epoch else {
             continue; // never executed: no durability obligation
         };
-        let m = epoch_writes.entry(epoch).or_default();
-        let s = m.entry(e.line).or_insert(e.seq.0);
-        if e.seq.0 > *s {
-            *s = e.seq.0;
+        let writes = epoch_writes.get_mut(epoch);
+        match writes.iter_mut().find(|(l, _)| *l == e.line) {
+            Some((_, s)) => *s = (*s).max(e.seq.0),
+            None => writes.push((e.line, e.seq.0)),
         }
     }
 
     // Check 1: value integrity of every recovered line.
-    let mut visible: HashSet<EpochId> = HashSet::new();
+    let mut visible: EpochDense<bool> = EpochDense::new();
+    let mut epochs_visible = 0usize;
     for (&line, rec) in nvm.iter() {
         report.lines_checked += 1;
         match rec.seq {
@@ -106,7 +148,11 @@ pub fn check(journal: &WriteJournal, deps: &DepGraph, nvm: &NvmImage) -> CrashRe
                     ));
                 }
                 if let Some(e) = rec.epoch {
-                    visible.insert(e);
+                    let seen = visible.get_mut(e);
+                    if !*seen {
+                        *seen = true;
+                        epochs_visible += 1;
+                    }
                 }
             }
             None => {
@@ -121,22 +167,28 @@ pub fn check(journal: &WriteJournal, deps: &DepGraph, nvm: &NvmImage) -> CrashRe
             }
         }
     }
-    report.epochs_visible = visible.len();
+    report.epochs_visible = epochs_visible;
 
     // Check 2: prefix closure + committed durability.
-    let mut obligated: HashSet<EpochId> = HashSet::new();
-    for &e in visible.iter() {
-        obligated.extend(deps.transitive_deps(e));
+    let mut obligated: EpochDense<bool> = EpochDense::new();
+    for (e, &vis) in visible.iter() {
+        if vis {
+            for d in deps.transitive_deps(e) {
+                *obligated.get_mut(d) = true;
+            }
+        }
     }
-    for &e in deps.committed().collect::<Vec<_>>() {
-        obligated.insert(e);
-        obligated.extend(deps.transitive_deps(e));
+    for e in deps.committed().collect::<Vec<_>>() {
+        *obligated.get_mut(e) = true;
+        for d in deps.transitive_deps(e) {
+            *obligated.get_mut(d) = true;
+        }
     }
-    for e in obligated {
-        let Some(writes) = epoch_writes.get(&e) else {
+    for (e, _) in obligated.iter().filter(|&(_, &ob)| ob) {
+        let Some(writes) = epoch_writes.get(e) else {
             continue; // epoch issued no executed writes
         };
-        for (&line, &max_seq) in writes {
+        for &(line, max_seq) in writes {
             let rec = nvm.line(line);
             let surviving = rec.seq.is_some_and(|s| s >= max_seq);
             if !surviving {

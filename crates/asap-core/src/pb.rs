@@ -111,28 +111,30 @@ impl PersistBuffer {
         self.flushed_count
     }
 
-    /// Enqueue a store. Returns `Ok(true)` if a new entry was allocated,
-    /// `Ok(false)` if it coalesced into an existing same-line same-epoch
-    /// entry that had not been issued yet, and `Err(data)` (handing the
-    /// payload back) if the buffer is full — the caller stalls the core
-    /// and retries.
+    /// Enqueue a store. Returns `Ok(None)` if a new entry was allocated,
+    /// `Ok(Some(displaced))` if it coalesced into an existing same-line
+    /// same-epoch entry that had not been issued yet (handing back the
+    /// displaced snapshot buffer for recycling), and `Err(data)` (handing
+    /// the payload back) if the buffer is full — the caller stalls the
+    /// core and retries.
+    #[allow(clippy::type_complexity)]
     pub fn enqueue(
         &mut self,
         line: LineAddr,
         data: Box<LineSnapshot>,
         seq: u64,
         epoch: EpochId,
-    ) -> Result<bool, Box<LineSnapshot>> {
+    ) -> Result<Option<Box<LineSnapshot>>, Box<LineSnapshot>> {
         if let Some(e) = self
             .entries
             .iter_mut()
             .rev()
             .find(|e| e.line == line && e.epoch == epoch && e.state == PbEntryState::Waiting)
         {
-            e.data = data;
+            let displaced = std::mem::replace(&mut e.data, data);
             e.seq = seq;
             self.coalesced += 1;
-            return Ok(false);
+            return Ok(Some(displaced));
         }
         if self.is_full() {
             return Err(data);
@@ -147,7 +149,7 @@ impl PersistBuffer {
             epoch,
             state: PbEntryState::Waiting,
         });
-        Ok(true)
+        Ok(None)
     }
 
     /// The oldest entry in `Waiting` state whose epoch satisfies
@@ -281,8 +283,8 @@ mod tests {
     #[test]
     fn enqueue_and_fill() {
         let mut pb = PersistBuffer::new(2);
-        assert_eq!(pb.enqueue(la(0), data(1), 0, ep(0)), Ok(true));
-        assert_eq!(pb.enqueue(la(1), data(2), 1, ep(0)), Ok(true));
+        assert_eq!(pb.enqueue(la(0), data(1), 0, ep(0)), Ok(None));
+        assert_eq!(pb.enqueue(la(1), data(2), 1, ep(0)), Ok(None));
         assert!(pb.is_full());
         let err = pb.enqueue(la(2), data(3), 2, ep(0)).unwrap_err();
         assert_eq!(err[0], 3); // payload handed back
@@ -292,7 +294,8 @@ mod tests {
     fn same_line_same_epoch_coalesces() {
         let mut pb = PersistBuffer::new(4);
         pb.enqueue(la(0), data(1), 0, ep(0)).unwrap();
-        assert_eq!(pb.enqueue(la(0), data(9), 3, ep(0)), Ok(false));
+        // Coalescing hands the displaced buffer back for recycling.
+        assert_eq!(pb.enqueue(la(0), data(9), 3, ep(0)), Ok(Some(data(1))));
         assert_eq!(pb.len(), 1);
         assert_eq!(pb.coalesced(), 1);
         let e = pb.iter().next().unwrap();
@@ -304,7 +307,7 @@ mod tests {
     fn same_line_different_epoch_allocates() {
         let mut pb = PersistBuffer::new(4);
         pb.enqueue(la(0), data(1), 0, ep(0)).unwrap();
-        assert_eq!(pb.enqueue(la(0), data(2), 1, ep(1)), Ok(true));
+        assert_eq!(pb.enqueue(la(0), data(2), 1, ep(1)), Ok(None));
         assert_eq!(pb.len(), 2);
     }
 
@@ -314,7 +317,7 @@ mod tests {
         pb.enqueue(la(0), data(1), 0, ep(0)).unwrap();
         let id = pb.iter().next().unwrap().id;
         pb.mark_inflight(id);
-        assert_eq!(pb.enqueue(la(0), data(2), 1, ep(0)), Ok(true));
+        assert_eq!(pb.enqueue(la(0), data(2), 1, ep(0)), Ok(None));
         assert_eq!(pb.len(), 2);
     }
 

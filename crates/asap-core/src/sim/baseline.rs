@@ -118,8 +118,11 @@ fn finish_sync_epoch(eng: &mut Engine, t: usize) {
 }
 
 impl PersistencyModel for BaselineModel {
-    fn on_store(&mut self, _eng: &mut Engine, t: usize, op: StoreOp) -> bool {
+    fn on_store(&mut self, eng: &mut Engine, t: usize, op: StoreOp) -> bool {
         self.sync_dirty[t].insert(op.line, op.seq.0);
+        // Sync flushes read the journaled snapshot at flush time; the
+        // carried payload is not needed — recycle it.
+        eng.snap_pool.put(op.data);
         true
     }
 

@@ -15,9 +15,10 @@ use super::model::{PersistencyModel, StoreOp};
 pub(super) struct EadrModel;
 
 impl PersistencyModel for EadrModel {
-    fn on_store(&mut self, _eng: &mut Engine, _t: usize, _op: StoreOp) -> bool {
+    fn on_store(&mut self, eng: &mut Engine, _t: usize, op: StoreOp) -> bool {
         // Durable at the cache; the epoch is committed lazily at the
-        // next fence.
+        // next fence. The snapshot payload is not needed — recycle it.
+        eng.snap_pool.put(op.data);
         true
     }
 
@@ -76,8 +77,9 @@ impl PersistencyModel for BbbModel {
         debug_assert!(ok, "BBB flushes are always safe");
         let _ = ok;
         let occ_before = eng.cores[tid].pb.len();
-        if eng.cores[tid].pb.ack(entry_id).is_some() {
+        if let Some(e) = eng.cores[tid].pb.ack(entry_id) {
             eng.note_pb_occ_change(tid, occ_before);
+            eng.snap_pool.put(e.data);
         }
         eng.unblock_pb_full(tid);
         eng.schedule_flush(tid);
@@ -92,7 +94,7 @@ impl PersistencyModel for BbbModel {
             let entries: Vec<_> = eng.cores[t]
                 .pb
                 .iter()
-                .map(|e| (e.line, *e.data.clone(), e.seq, e.epoch))
+                .map(|e| (e.line, *e.data, e.seq, e.epoch))
                 .collect();
             for (line, data, seq, epoch) in entries {
                 eng.nvm.persist(line, data, Some(seq), Some(epoch));

@@ -9,12 +9,12 @@ use crate::ops::{MemOp, ThreadProgram};
 use crate::pb::PersistBuffer;
 use asap_cache_sim::{CoherenceHub, CountingBloom, WriteBackBuffer};
 use asap_memctrl::MemController;
-use asap_pm_mem::{NvmImage, PmSpace, WriteJournal};
+use asap_pm_mem::{NvmImage, PmSpace, SnapshotPool, WriteJournal};
 use asap_sim_core::{
-    Cycle, EpochId, EventQueue, Flavor, LineAddr, McId, NullTracer, Sampler, SimConfig, Stats,
-    TextTracer, ThreadId, TraceRecord, Tracer,
+    Cycle, EpochId, EventQueue, Flavor, LineAddr, LineIdx, LineTable, McId, NullTracer, Sampler,
+    SimConfig, Stats, TextTracer, ThreadId, TraceRecord, Tracer,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Why a core is not executing.
 #[derive(Debug, Clone)]
@@ -123,8 +123,18 @@ pub(super) struct Engine {
     pub journal: WriteJournal,
     pub deps: DepGraph,
     pub stats: Stats,
-    /// Release persistency: line → epoch of the last release-store.
-    pub release_map: HashMap<LineAddr, EpochId>,
+    /// Free-list recycling of the boxed line snapshots that travel
+    /// store → persist buffer → flush → ack: steady state allocates
+    /// nothing per store (the pool's counters are the audit).
+    pub snap_pool: SnapshotPool,
+    /// Per-run address interning for engine-side per-line state (the WBB
+    /// and the release map). The coherence hub and each memory controller
+    /// own their *own* tables: indices are component-local and never cross
+    /// an API boundary.
+    pub lines: LineTable,
+    /// Release persistency: last release-store epoch per interned line
+    /// (`release_map[idx]`, indexed through [`Engine::lines`]).
+    pub release_map: Vec<Option<EpochId>>,
     /// Per-MC counting Bloom filters of NACKed flush addresses (§V-F):
     /// LLC evictions of a filtered line must wait for the retry.
     pub nack_filters: Vec<CountingBloom>,
@@ -216,7 +226,9 @@ impl Engine {
             },
             deps,
             stats: Stats::new(),
-            release_map: HashMap::new(),
+            snap_pool: SnapshotPool::new(),
+            lines: LineTable::new(),
+            release_map: Vec::new(),
             nack_filters,
             events_processed: 0,
             crashed: false,
@@ -440,6 +452,17 @@ impl Engine {
     // ---------------------------------------------------------------
     // Shared bookkeeping
     // ---------------------------------------------------------------
+
+    /// Intern `line` in the engine's table, growing the dense release map
+    /// alongside it so `release_map[idx]` is always in bounds.
+    #[inline]
+    pub(super) fn intern_line(&mut self, line: LineAddr) -> LineIdx {
+        let idx = self.lines.intern(line);
+        if idx.as_usize() >= self.release_map.len() {
+            self.release_map.resize(idx.as_usize() + 1, None);
+        }
+        idx
+    }
 
     /// Advance the epoch counter without ET bookkeeping (baseline and
     /// battery-backed fences).

@@ -47,7 +47,7 @@ impl Engine {
             self.cores[t].done = true;
             return false;
         }
-        let mut ctx = BurstCtx::new(&mut self.pm, &mut self.journal);
+        let mut ctx = BurstCtx::with_pool(&mut self.pm, &mut self.journal, &mut self.snap_pool);
         let status = self.programs[t].next_burst(ThreadId(t), &mut ctx);
         let (ops, completed, preinit) = ctx.into_parts();
         for line in preinit {
@@ -156,12 +156,13 @@ impl Engine {
         if !self.uses_pb {
             return;
         }
-        let core = &mut self.cores[t];
-        if core.pb.holds_line(victim) {
+        if self.cores[t].pb.holds_line(victim) {
+            let vidx = self.intern_line(victim);
+            let core = &mut self.cores[t];
             let tail = core.pb.flushed_count() + core.pb.len() as u64;
             // A full WBB would stall the eviction in hardware; the
             // occupancy tracking is what we need here.
-            let _ = core.wbb.park(victim, tail);
+            let _ = core.wbb.park(vidx, tail);
         }
     }
 
@@ -232,7 +233,7 @@ impl Engine {
         } = op;
         let occ_before = self.cores[t].pb.len();
         match self.cores[t].pb.enqueue(line, data, seq.0, epoch) {
-            Ok(true) => {
+            Ok(None) => {
                 if tracked {
                     self.cores[t].et.add_write(epoch.ts);
                 }
@@ -243,7 +244,8 @@ impl Engine {
                 self.schedule_flush(t);
                 true
             }
-            Ok(false) => {
+            Ok(Some(displaced)) => {
+                self.snap_pool.put(displaced);
                 self.stats.pb_coalesced += 1;
                 self.stats.entries_inserted += 1;
                 true
@@ -358,7 +360,11 @@ impl Engine {
         if !self.uses_pb {
             return;
         }
-        let Some(&src_epoch) = self.release_map.get(&line) else {
+        let Some(src_epoch) = self
+            .lines
+            .lookup(line)
+            .and_then(|i| self.release_map.get(i.as_usize()).copied().flatten())
+        else {
             return;
         };
         if src_epoch.thread.0 == t || self.deps.is_committed(src_epoch) {
@@ -378,7 +384,8 @@ impl Engine {
             return;
         }
         let e = self.cores[t].cur_epoch();
-        self.release_map.insert(line, e);
+        let idx = self.intern_line(line);
+        self.release_map[idx.as_usize()] = Some(e);
         self.split_epoch(m, t);
     }
 
@@ -487,7 +494,9 @@ impl Engine {
         let early = m.flushes_early(self, tid, entry.epoch.ts);
         let pkt = FlushPacket {
             line: entry.line,
-            data: *entry.data.clone(),
+            // LineSnapshot is Copy: a plain deref copies the 64 bytes
+            // without touching the allocator (the entry keeps its box).
+            data: *entry.data,
             seq: entry.seq,
             epoch: entry.epoch,
             early,
@@ -561,6 +570,7 @@ impl Engine {
             if self.nack_filters[mc].maybe_contains(entry.line) {
                 self.nack_filters[mc].remove(entry.line);
             }
+            self.snap_pool.put(entry.data);
         }
         // Evictions waiting on the PB tail may now drain.
         let flushed = self.cores[tid].pb.flushed_count();

@@ -277,6 +277,18 @@ impl Sim {
         crate::race::race_check(&self.engine.journal, &self.engine.deps)
     }
 
+    /// Snapshot-pool allocation audit: `(fresh_allocs, recycled)` box
+    /// counts for the store → persist buffer → flush → ack cycle. Once
+    /// the pool is warm, `fresh_allocs` is bounded by peak in-flight
+    /// snapshots while `recycled` keeps tracking the store count — i.e.
+    /// steady state allocates nothing per store.
+    pub fn snapshot_pool_counters(&self) -> (u64, u64) {
+        (
+            self.engine.snap_pool.fresh_allocs(),
+            self.engine.snap_pool.recycled(),
+        )
+    }
+
     /// Maximum recovery-table occupancy across MCs (Figure 12).
     pub fn rt_max_occupancy(&self) -> usize {
         self.engine

@@ -12,11 +12,68 @@
 //! fig08_performance            median 12.31ms  mean 12.40ms  min 12.11ms  (10 samples)
 //! ```
 
-#![forbid(unsafe_code)]
+// The counting global allocator (alloc-count feature) is the one place
+// in the workspace that needs `unsafe`: a `GlobalAlloc` impl. Everything
+// else in this crate stays forbidden.
+#![cfg_attr(not(feature = "alloc-count"), forbid(unsafe_code))]
+#![cfg_attr(feature = "alloc-count", deny(unsafe_code))]
 #![deny(missing_docs)]
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
+
+/// Allocation counting for the perf benches, enabled with
+/// `--features alloc-count`: wraps the system allocator and counts every
+/// allocation and allocated byte process-wide. The counters let
+/// `sweep_bench` attribute heap traffic to each phase (workload
+/// generation vs simulation vs reduction) and prove the steady-state
+/// zero-allocation claim of the snapshot pool from outside the
+/// simulator.
+#[cfg(feature = "alloc-count")]
+pub mod alloc_count {
+    #![allow(unsafe_code)]
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    /// System-allocator wrapper that counts allocations and bytes.
+    pub struct CountingAlloc;
+
+    // SAFETY: every method delegates directly to `System`, which
+    // upholds the `GlobalAlloc` contract; the counter updates are
+    // side-effect-free atomics.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+
+    /// `(allocations, bytes)` counted since process start.
+    pub fn counters() -> (u64, u64) {
+        (
+            ALLOCS.load(Ordering::Relaxed),
+            BYTES.load(Ordering::Relaxed),
+        )
+    }
+}
 
 /// A tiny benchmark runner with a configurable sample count.
 pub struct Bench {

@@ -23,8 +23,7 @@
 //! reports this so the persistency model can charge the NVM read.
 
 use crate::setassoc::SetAssoc;
-use asap_sim_core::{Cycle, LineAddr, SimConfig, ThreadId};
-use std::collections::HashMap;
+use asap_sim_core::{Cycle, LineAddr, LineIdx, LineTable, SimConfig, ThreadId};
 
 /// Directory state for one line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -122,8 +121,11 @@ pub struct CoherenceHub {
     l1: Vec<SetAssoc>,
     l2: Vec<SetAssoc>,
     llc: SetAssoc,
-    dir: HashMap<LineAddr, DirState>,
-    /// Lines dirty in a private cache (subset of Owned{dirty:true}).
+    /// Per-run address interning: all per-line directory state is keyed
+    /// by the dense [`LineIdx`] this table assigns in first-touch order.
+    lines: LineTable,
+    /// Directory state per interned line (`None` = no core holds it).
+    dir: Vec<Option<DirState>>,
     l1_latency: Cycle,
     l2_latency: Cycle,
     llc_latency: Cycle,
@@ -142,7 +144,8 @@ impl CoherenceHub {
                 .map(|_| SetAssoc::with_capacity_bytes(2 * 1024 * 1024, 8))
                 .collect(),
             llc: SetAssoc::with_capacity_bytes(16 * 1024 * 1024, 16),
-            dir: HashMap::new(),
+            lines: LineTable::with_capacity(4096),
+            dir: Vec::with_capacity(4096),
             l1_latency: cfg.l1_latency,
             l2_latency: cfg.l2_latency,
             llc_latency: cfg.llc_latency,
@@ -156,31 +159,39 @@ impl CoherenceHub {
         self.stats
     }
 
+    /// Intern `line`, growing the dense directory alongside the table.
+    #[inline]
+    fn intern(&mut self, line: LineAddr) -> LineIdx {
+        let idx = self.lines.intern(line);
+        if idx.as_usize() >= self.dir.len() {
+            self.dir.resize(idx.as_usize() + 1, None);
+        }
+        idx
+    }
+
     /// Perform a coherent access by thread `t` to `line`.
     ///
     /// `write` selects a read-for-ownership (invalidate sharers, end in M)
     /// versus a plain read (end in S or E).
     pub fn access(&mut self, t: ThreadId, line: LineAddr, write: bool) -> AccessOutcome {
         let tid = t.0;
-        let private_hit_l1 = self.l1[tid].contains(line);
-        let private_hit_l2 = private_hit_l1 || self.l2[tid].contains(line);
+        let idx = self.intern(line);
+        let private_hit_l1 = self.l1[tid].contains(line, idx);
+        let private_hit_l2 = private_hit_l1 || self.l2[tid].contains(line, idx);
 
         // Fast path: private hit with sufficient permissions.
         if private_hit_l2 {
             let have_ownership = matches!(
-                self.dir.get(&line),
-                Some(DirState::Owned { owner, .. }) if *owner == t
+                self.dir[idx.as_usize()],
+                Some(DirState::Owned { owner, .. }) if owner == t
             );
             if !write || have_ownership {
                 if write {
                     // Write hit in M/E: mark dirty.
-                    self.dir.insert(
-                        line,
-                        DirState::Owned {
-                            owner: t,
-                            dirty: true,
-                        },
-                    );
+                    self.dir[idx.as_usize()] = Some(DirState::Owned {
+                        owner: t,
+                        dirty: true,
+                    });
                 }
                 let (lat, level) = if private_hit_l1 {
                     self.stats.l1_hits += 1;
@@ -189,7 +200,7 @@ impl CoherenceHub {
                     self.stats.l2_hits += 1;
                     (self.l2_latency, HitLevel::L2)
                 };
-                self.touch_private(tid, line);
+                self.touch_private(tid, line, idx);
                 return AccessOutcome {
                     latency: lat,
                     level,
@@ -207,9 +218,11 @@ impl CoherenceHub {
         let mut dirty_supplier = None;
         let mut invalidated: Vec<ThreadId> = Vec::new();
         let mut level = HitLevel::Llc;
-        let llc_has = self.llc.contains(line);
+        let llc_has = self.llc.contains(line, idx);
 
-        let state = self.dir.get(&line).cloned();
+        // Take the state out of the slot (no clone); every arm writes the
+        // successor state back.
+        let state = self.dir[idx.as_usize()].take();
         match state {
             Some(DirState::Owned { owner, dirty }) if owner != t => {
                 // Remote M/E: forward via cache-to-cache transfer.
@@ -220,20 +233,17 @@ impl CoherenceHub {
                 }
                 if write {
                     // Invalidate the remote copy.
-                    self.l1[owner.0].invalidate(line);
-                    self.l2[owner.0].invalidate(line);
+                    self.l1[owner.0].invalidate(line, idx);
+                    self.l2[owner.0].invalidate(line, idx);
                     self.stats.invalidations += 1;
                     invalidated.push(owner);
-                    self.dir.insert(
-                        line,
-                        DirState::Owned {
-                            owner: t,
-                            dirty: true,
-                        },
-                    );
+                    self.dir[idx.as_usize()] = Some(DirState::Owned {
+                        owner: t,
+                        dirty: true,
+                    });
                 } else {
                     // Downgrade remote M/E to S; both become sharers.
-                    self.dir.insert(line, DirState::Shared(vec![owner, t]));
+                    self.dir[idx.as_usize()] = Some(DirState::Shared(vec![owner, t]));
                 }
             }
             Some(DirState::Owned { owner, dirty }) => {
@@ -247,30 +257,27 @@ impl CoherenceHub {
                     self.stats.llc_hits += 1;
                 }
                 let dirty = dirty || write;
-                self.dir.insert(line, DirState::Owned { owner: t, dirty });
+                self.dir[idx.as_usize()] = Some(DirState::Owned { owner: t, dirty });
             }
             Some(DirState::Shared(mut sharers)) => {
                 if write {
                     // Invalidate all other sharers; their acks may carry
                     // epoch dependencies (see `invalidated`).
                     for s in sharers.iter().filter(|&&s| s != t) {
-                        self.l1[s.0].invalidate(line);
-                        self.l2[s.0].invalidate(line);
+                        self.l1[s.0].invalidate(line, idx);
+                        self.l2[s.0].invalidate(line, idx);
                         self.stats.invalidations += 1;
                         invalidated.push(*s);
                     }
-                    self.dir.insert(
-                        line,
-                        DirState::Owned {
-                            owner: t,
-                            dirty: true,
-                        },
-                    );
+                    self.dir[idx.as_usize()] = Some(DirState::Owned {
+                        owner: t,
+                        dirty: true,
+                    });
                 } else {
                     if !sharers.contains(&t) {
                         sharers.push(t);
                     }
-                    self.dir.insert(line, DirState::Shared(sharers));
+                    self.dir[idx.as_usize()] = Some(DirState::Shared(sharers));
                 }
                 if llc_has {
                     self.stats.llc_hits += 1;
@@ -283,20 +290,10 @@ impl CoherenceHub {
                 // No core holds the line (first access, or it was dropped
                 // on a private eviction): exclusive (E) or modified. Data
                 // may still live in the LLC.
-                self.dir.insert(
-                    line,
-                    if write {
-                        DirState::Owned {
-                            owner: t,
-                            dirty: true,
-                        }
-                    } else {
-                        DirState::Owned {
-                            owner: t,
-                            dirty: false,
-                        }
-                    },
-                );
+                self.dir[idx.as_usize()] = Some(DirState::Owned {
+                    owner: t,
+                    dirty: write,
+                });
                 if llc_has {
                     self.stats.llc_hits += 1;
                 } else {
@@ -312,8 +309,8 @@ impl CoherenceHub {
         }
 
         // Fill private caches and LLC.
-        self.llc.touch(line);
-        let evicted_dirty = self.fill_private(t, line);
+        self.llc.touch(line, idx);
+        let evicted_dirty = self.fill_private(t, line, idx);
 
         AccessOutcome {
             latency,
@@ -325,33 +322,35 @@ impl CoherenceHub {
         }
     }
 
-    fn touch_private(&mut self, tid: usize, line: LineAddr) {
-        self.l1[tid].touch(line);
-        self.l2[tid].touch(line);
+    fn touch_private(&mut self, tid: usize, line: LineAddr, idx: LineIdx) {
+        self.l1[tid].touch(line, idx);
+        self.l2[tid].touch(line, idx);
     }
 
     /// Fill `line` into the private caches of `t`, reporting a dirty
     /// victim if one was displaced from L2.
-    fn fill_private(&mut self, t: ThreadId, line: LineAddr) -> Option<LineAddr> {
+    fn fill_private(&mut self, t: ThreadId, line: LineAddr, idx: LineIdx) -> Option<LineAddr> {
         let tid = t.0;
-        self.l1[tid].touch(line);
-        let victim = self.l2[tid].touch(line)?;
+        self.l1[tid].touch(line, idx);
+        let victim = self.l2[tid].touch(line, idx)?;
+        let victim_line = self.lines.addr_of(victim);
         // Keep L1 inclusive in L2.
-        self.l1[tid].invalidate(victim);
+        self.l1[tid].invalidate(victim_line, victim);
         let was_dirty = matches!(
-            self.dir.get(&victim),
-            Some(DirState::Owned { owner, dirty: true }) if *owner == t
+            self.dir[victim.as_usize()],
+            Some(DirState::Owned { owner, dirty: true }) if owner == t
         );
         if was_dirty {
             self.stats.dirty_evictions += 1;
             // The line's data now lives only in LLC/PB; directory drops
             // ownership (PM lines are not written back — the persist path
             // owns durability).
-            self.dir.remove(&victim);
-            Some(victim)
+            self.dir[victim.as_usize()] = None;
+            Some(victim_line)
         } else {
-            if matches!(self.dir.get(&victim), Some(DirState::Owned { owner, .. }) if *owner == t) {
-                self.dir.remove(&victim);
+            if matches!(self.dir[victim.as_usize()], Some(DirState::Owned { owner, .. }) if owner == t)
+            {
+                self.dir[victim.as_usize()] = None;
             }
             None
         }
@@ -359,8 +358,11 @@ impl CoherenceHub {
 
     /// Whether any core currently holds `line` dirty (diagnostics).
     pub fn is_dirty_anywhere(&self, line: LineAddr) -> bool {
+        let Some(idx) = self.lines.lookup(line) else {
+            return false;
+        };
         matches!(
-            self.dir.get(&line),
+            self.dir[idx.as_usize()],
             Some(DirState::Owned { dirty: true, .. })
         )
     }

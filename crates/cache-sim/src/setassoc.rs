@@ -1,25 +1,30 @@
 //! Generic set-associative array with true-LRU replacement.
 
-use asap_sim_core::LineAddr;
+use asap_sim_core::{LineAddr, LineIdx};
 
 /// A set-associative tag array tracking which cache lines are present.
 ///
 /// Used for all three cache levels; data contents live in the functional
-/// `PmSpace`, so only presence and recency matter here.
+/// `PmSpace`, so only presence and recency matter here. Tags are stored
+/// as dense interned [`LineIdx`] values (4 bytes instead of a full
+/// address), while *set selection* still uses the line's address bits —
+/// placement must not depend on first-touch interning order, or timing
+/// would stop being a pure function of the access stream.
 ///
 /// # Example
 ///
 /// ```
 /// use asap_cache_sim::SetAssoc;
-/// use asap_sim_core::LineAddr;
+/// use asap_sim_core::{LineAddr, LineIdx};
 ///
 /// let mut c = SetAssoc::new(2, 2); // 2 sets x 2 ways
-/// assert!(c.touch(LineAddr::containing(0)).is_none());
-/// assert!(c.contains(LineAddr::containing(0)));
+/// let line = LineAddr::containing(0);
+/// assert!(c.touch(line, LineIdx(0)).is_none());
+/// assert!(c.contains(line, LineIdx(0)));
 /// ```
 #[derive(Debug, Clone)]
 pub struct SetAssoc {
-    sets: Vec<Vec<(LineAddr, u64)>>, // (line, last-use tick)
+    sets: Vec<Vec<(LineIdx, u64)>>, // (interned line, last-use tick)
     ways: usize,
     tick: u64,
 }
@@ -54,29 +59,32 @@ impl SetAssoc {
         SetAssoc::new(sets, ways)
     }
 
+    #[inline]
     fn set_index(&self, line: LineAddr) -> usize {
         (line.index() as usize) & (self.sets.len() - 1)
     }
 
-    /// Whether `line` is present (does not update recency).
-    pub fn contains(&self, line: LineAddr) -> bool {
+    /// Whether `line` (interned as `idx`) is present (does not update
+    /// recency).
+    #[inline]
+    pub fn contains(&self, line: LineAddr, idx: LineIdx) -> bool {
         let s = self.set_index(line);
-        self.sets[s].iter().any(|&(l, _)| l == line)
+        self.sets[s].iter().any(|&(l, _)| l == idx)
     }
 
-    /// Insert or refresh `line`; returns the victim evicted to make room,
-    /// if any.
-    pub fn touch(&mut self, line: LineAddr) -> Option<LineAddr> {
+    /// Insert or refresh `line` (interned as `idx`); returns the victim
+    /// evicted to make room, if any.
+    pub fn touch(&mut self, line: LineAddr, idx: LineIdx) -> Option<LineIdx> {
         self.tick += 1;
         let tick = self.tick;
         let s = self.set_index(line);
         let set = &mut self.sets[s];
-        if let Some(entry) = set.iter_mut().find(|(l, _)| *l == line) {
+        if let Some(entry) = set.iter_mut().find(|(l, _)| *l == idx) {
             entry.1 = tick;
             return None;
         }
         if set.len() < self.ways {
-            set.push((line, tick));
+            set.push((idx, tick));
             return None;
         }
         // Evict true-LRU victim.
@@ -86,15 +94,16 @@ impl SetAssoc {
             .min_by_key(|(_, &(_, t))| t)
             .expect("nonempty set");
         let victim = set[victim_idx].0;
-        set[victim_idx] = (line, tick);
+        set[victim_idx] = (idx, tick);
         Some(victim)
     }
 
-    /// Remove `line` if present; returns whether it was present.
-    pub fn invalidate(&mut self, line: LineAddr) -> bool {
+    /// Remove `line` (interned as `idx`) if present; returns whether it
+    /// was present.
+    pub fn invalidate(&mut self, line: LineAddr, idx: LineIdx) -> bool {
         let s = self.set_index(line);
         let set = &mut self.sets[s];
-        if let Some(pos) = set.iter().position(|&(l, _)| l == line) {
+        if let Some(pos) = set.iter().position(|&(l, _)| l == idx) {
             set.swap_remove(pos);
             true
         } else {
@@ -121,44 +130,49 @@ mod tests {
         LineAddr::containing(i * 64)
     }
 
+    // In tests the interned index is just the line number.
+    fn ix(i: u64) -> LineIdx {
+        LineIdx(i as u32)
+    }
+
     #[test]
     fn fills_before_evicting() {
         let mut c = SetAssoc::new(1, 4);
         for i in 0..4 {
-            assert_eq!(c.touch(la(i)), None);
+            assert_eq!(c.touch(la(i), ix(i)), None);
         }
         assert_eq!(c.occupancy(), 4);
         // Fifth line evicts the LRU (line 0)
-        assert_eq!(c.touch(la(4)), Some(la(0)));
-        assert!(!c.contains(la(0)));
-        assert!(c.contains(la(4)));
+        assert_eq!(c.touch(la(4), ix(4)), Some(ix(0)));
+        assert!(!c.contains(la(0), ix(0)));
+        assert!(c.contains(la(4), ix(4)));
     }
 
     #[test]
     fn touch_refreshes_lru() {
         let mut c = SetAssoc::new(1, 2);
-        c.touch(la(0));
-        c.touch(la(1));
-        c.touch(la(0)); // 0 becomes MRU
-        assert_eq!(c.touch(la(2)), Some(la(1)));
+        c.touch(la(0), ix(0));
+        c.touch(la(1), ix(1));
+        c.touch(la(0), ix(0)); // 0 becomes MRU
+        assert_eq!(c.touch(la(2), ix(2)), Some(ix(1)));
     }
 
     #[test]
     fn different_sets_do_not_interfere() {
         let mut c = SetAssoc::new(2, 1);
-        assert_eq!(c.touch(la(0)), None); // set 0
-        assert_eq!(c.touch(la(1)), None); // set 1
-        assert_eq!(c.touch(la(2)), Some(la(0))); // set 0 again
-        assert!(c.contains(la(1)));
+        assert_eq!(c.touch(la(0), ix(0)), None); // set 0
+        assert_eq!(c.touch(la(1), ix(1)), None); // set 1
+        assert_eq!(c.touch(la(2), ix(2)), Some(ix(0))); // set 0 again
+        assert!(c.contains(la(1), ix(1)));
     }
 
     #[test]
     fn invalidate_removes() {
         let mut c = SetAssoc::new(1, 2);
-        c.touch(la(3));
-        assert!(c.invalidate(la(3)));
-        assert!(!c.contains(la(3)));
-        assert!(!c.invalidate(la(3)));
+        c.touch(la(3), ix(3));
+        assert!(c.invalidate(la(3), ix(3)));
+        assert!(!c.contains(la(3), ix(3)));
+        assert!(!c.invalidate(la(3), ix(3)));
         assert_eq!(c.occupancy(), 0);
     }
 

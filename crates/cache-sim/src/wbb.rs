@@ -6,15 +6,19 @@
 //! the eviction parks in the WBB, tagged with the persist buffer's tail
 //! index at eviction time, and completes only once the PB has flushed past
 //! that index.
+//!
+//! Entries identify lines by their dense interned
+//! [`LineIdx`](asap_sim_core::LineIdx) (the engine owns the run's
+//! `LineTable`), keeping the buffer a flat array of 12-byte records.
 
-use asap_sim_core::LineAddr;
+use asap_sim_core::LineIdx;
 use std::collections::VecDeque;
 
 /// One parked eviction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WbbEntry {
-    /// The evicted line.
-    pub line: LineAddr,
+    /// The evicted line (interned index).
+    pub line: LineIdx,
     /// PB tail index recorded when the eviction entered the WBB; the
     /// eviction may complete once the PB has flushed every entry up to
     /// this index.
@@ -27,12 +31,12 @@ pub struct WbbEntry {
 ///
 /// ```
 /// use asap_cache_sim::WriteBackBuffer;
-/// use asap_sim_core::LineAddr;
+/// use asap_sim_core::LineIdx;
 ///
 /// let mut wbb = WriteBackBuffer::new(4);
-/// wbb.park(LineAddr::containing(0x40), 10);
-/// assert_eq!(wbb.release_up_to(9).len(), 0);
-/// assert_eq!(wbb.release_up_to(10).len(), 1);
+/// wbb.park(LineIdx(1), 10);
+/// assert_eq!(wbb.release_up_to(9), 0);
+/// assert_eq!(wbb.release_up_to(10), 1);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct WriteBackBuffer {
@@ -54,7 +58,7 @@ impl WriteBackBuffer {
     /// Park an eviction of `line` that must wait for the PB to flush
     /// through `pb_tail`. Returns `false` (and drops nothing) if the WBB
     /// is full — the caller must then stall the eviction.
-    pub fn park(&mut self, line: LineAddr, pb_tail: u64) -> bool {
+    pub fn park(&mut self, line: LineIdx, pb_tail: u64) -> bool {
         if self.entries.len() >= self.capacity {
             return false;
         }
@@ -64,12 +68,15 @@ impl WriteBackBuffer {
     }
 
     /// Release all evictions whose recorded PB tail is `<= flushed_index`,
-    /// in FIFO order, and return them.
-    pub fn release_up_to(&mut self, flushed_index: u64) -> Vec<WbbEntry> {
-        let mut released = Vec::new();
+    /// in FIFO order; returns how many drained. (Released PM lines are
+    /// simply dropped — the persist path owns durability — so only the
+    /// count matters and nothing is allocated.)
+    pub fn release_up_to(&mut self, flushed_index: u64) -> usize {
+        let mut released = 0;
         while let Some(front) = self.entries.front() {
             if front.pb_tail <= flushed_index {
-                released.push(self.entries.pop_front().expect("front exists"));
+                self.entries.pop_front();
+                released += 1;
             } else {
                 break;
             }
@@ -78,7 +85,7 @@ impl WriteBackBuffer {
     }
 
     /// Whether the buffer currently holds `line`.
-    pub fn holds(&self, line: LineAddr) -> bool {
+    pub fn holds(&self, line: LineIdx) -> bool {
         self.entries.iter().any(|e| e.line == line)
     }
 
@@ -102,54 +109,49 @@ impl WriteBackBuffer {
 mod tests {
     use super::*;
 
-    fn la(i: u64) -> LineAddr {
-        LineAddr::containing(i * 64)
+    fn ix(i: u32) -> LineIdx {
+        LineIdx(i)
     }
 
     #[test]
     fn park_and_release_in_fifo_order() {
         let mut w = WriteBackBuffer::new(8);
-        assert!(w.park(la(1), 5));
-        assert!(w.park(la(2), 3));
-        assert!(w.park(la(3), 9));
-        // Entry 1 (tail 5) blocks entry 2 (tail 3)? No: FIFO head is
-        // la(1) with tail 5; releasing up to 3 frees nothing because the
-        // head still waits.
-        assert!(w.release_up_to(3).is_empty());
-        let r = w.release_up_to(5);
-        assert_eq!(r.len(), 2);
-        assert_eq!(r[0].line, la(1));
-        assert_eq!(r[1].line, la(2));
+        assert!(w.park(ix(1), 5));
+        assert!(w.park(ix(2), 3));
+        assert!(w.park(ix(3), 9));
+        // FIFO head is ix(1) with tail 5; releasing up to 3 frees nothing
+        // because the head still waits (head-of-line blocking).
+        assert_eq!(w.release_up_to(3), 0);
+        assert_eq!(w.release_up_to(5), 2);
         assert_eq!(w.len(), 1);
-        let r = w.release_up_to(9);
-        assert_eq!(r.len(), 1);
+        assert_eq!(w.release_up_to(9), 1);
         assert!(w.is_empty());
     }
 
     #[test]
     fn full_wbb_rejects() {
         let mut w = WriteBackBuffer::new(2);
-        assert!(w.park(la(1), 1));
-        assert!(w.park(la(2), 2));
-        assert!(!w.park(la(3), 3));
+        assert!(w.park(ix(1), 1));
+        assert!(w.park(ix(2), 2));
+        assert!(!w.park(ix(3), 3));
         assert_eq!(w.len(), 2);
     }
 
     #[test]
     fn holds_queries() {
         let mut w = WriteBackBuffer::new(4);
-        w.park(la(4), 7);
-        assert!(w.holds(la(4)));
-        assert!(!w.holds(la(5)));
+        w.park(ix(4), 7);
+        assert!(w.holds(ix(4)));
+        assert!(!w.holds(ix(5)));
     }
 
     #[test]
     fn max_occupancy_tracks_high_water() {
         let mut w = WriteBackBuffer::new(4);
-        w.park(la(1), 1);
-        w.park(la(2), 2);
+        w.park(ix(1), 1);
+        w.park(ix(2), 2);
         w.release_up_to(2);
-        w.park(la(3), 3);
+        w.park(ix(3), 3);
         assert_eq!(w.max_occupancy(), 2);
     }
 }

@@ -55,7 +55,10 @@ mod report;
 mod runner;
 
 pub use report::Table;
-pub use runner::{run_once, run_race_check, run_roi, run_window, RunManifest, RunOutcome, RunSpec};
+pub use runner::{
+    prewarm_workloads, run_once, run_race_check, run_roi, run_window, workload_bank_stats,
+    RunManifest, RunOutcome, RunSpec,
+};
 
 /// Parse the shared CLI convention of the harness binaries:
 /// `--full` selects paper-scale runs (default: quick), `--seed N`

@@ -1,9 +1,12 @@
 //! One-simulation runner: builds the system for a (config, model,
 //! flavour, workload) tuple and extracts the metrics the figures need.
 
-use asap_core::{Flavor, ModelKind, SimBuilder};
+use asap_core::{Flavor, ModelKind, SimBuilder, ThreadProgram};
 use asap_sim_core::{Cycle, SimConfig, Stats};
-use asap_workloads::{make_workload, WorkloadKind, WorkloadParams};
+use asap_workloads::{make_workload, make_workload_shared, WorkloadKind, WorkloadParams};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Everything needed to reproduce one simulation.
@@ -149,9 +152,95 @@ fn params_for(spec: &RunSpec) -> WorkloadParams {
     }
 }
 
+/// A pristine (never-run) program set shared across sweep points.
+type SharedPrograms = Arc<Vec<Box<dyn ThreadProgram + Send + Sync>>>;
+
+/// Everything that feeds workload generation: the hardware config only
+/// matters through the core count ([`params_for`] defaults the rest of
+/// [`WorkloadParams`]), so two specs differing only in, say, RT size
+/// share one pristine program set.
+type BankKey = (WorkloadKind, usize, u64, u64);
+
+fn bank_key(spec: &RunSpec) -> BankKey {
+    (
+        spec.workload,
+        spec.config.num_cores,
+        spec.ops_per_thread,
+        spec.seed,
+    )
+}
+
+/// Process-wide bank of pristine program sets: workload generation runs
+/// once per distinct `(workload, threads, ops, seed)` and every sweep
+/// point clones its programs from the shared set instead of re-running
+/// the generators. A derived clone of a never-run program is
+/// bit-identical to a freshly generated one, so outcomes (and the
+/// figure tables built from them) are unchanged — only the redundant
+/// generation work disappears.
+struct WorkloadBank {
+    sets: Mutex<HashMap<BankKey, SharedPrograms>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+fn bank() -> &'static WorkloadBank {
+    static BANK: OnceLock<WorkloadBank> = OnceLock::new();
+    BANK.get_or_init(|| WorkloadBank {
+        sets: Mutex::new(HashMap::new()),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+    })
+}
+
+/// Fetch (or generate) the pristine set for `spec`, then stamp out this
+/// run's own copy. The suite workloads all support `boxed_clone`; if an
+/// unknown program ever does not, fall back to plain generation.
+fn programs_for(spec: &RunSpec) -> Vec<Box<dyn ThreadProgram>> {
+    let b = bank();
+    let key = bank_key(spec);
+    let set: SharedPrograms = {
+        let mut sets = b.sets.lock().expect("workload bank poisoned");
+        match sets.get(&key) {
+            Some(s) => {
+                b.hits.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(s)
+            }
+            None => {
+                b.misses.fetch_add(1, Ordering::Relaxed);
+                let fresh: SharedPrograms =
+                    Arc::new(make_workload_shared(spec.workload, &params_for(spec)));
+                sets.insert(key, Arc::clone(&fresh));
+                fresh
+            }
+        }
+    };
+    let cloned: Option<Vec<Box<dyn ThreadProgram>>> = set.iter().map(|p| p.boxed_clone()).collect();
+    cloned.unwrap_or_else(|| make_workload(spec.workload, &params_for(spec)))
+}
+
+/// Generate every pristine program set a sweep will need, on the calling
+/// thread. Sweeps work without this (the first run of each key fills
+/// the bank), but calling it first gives benches a clean
+/// workload-generation phase to time separately from simulation.
+pub fn prewarm_workloads(specs: &[RunSpec]) {
+    for spec in specs {
+        drop(programs_for(spec));
+    }
+}
+
+/// `(hits, misses)` of the process-wide workload bank: `misses` counts
+/// generator runs, `hits` counts sweep points served by cloning a
+/// shared pristine set.
+pub fn workload_bank_stats() -> (u64, u64) {
+    let b = bank();
+    (
+        b.hits.load(Ordering::Relaxed),
+        b.misses.load(Ordering::Relaxed),
+    )
+}
+
 fn build_sim(spec: &RunSpec) -> asap_core::Sim {
-    let params = params_for(spec);
-    let programs = make_workload(spec.workload, &params);
+    let programs = programs_for(spec);
     SimBuilder::new(spec.config.clone(), spec.model, spec.flavor)
         .programs(programs)
         .build()
@@ -195,8 +284,7 @@ pub fn run_once(spec: &RunSpec) -> RunOutcome {
 /// the store count, so this is for analysis runs, not sweeps.
 pub fn run_race_check(spec: &RunSpec) -> (RunOutcome, asap_core::RaceReport) {
     let started = Instant::now();
-    let params = params_for(spec);
-    let programs = make_workload(spec.workload, &params);
+    let programs = programs_for(spec);
     let mut sim = SimBuilder::new(spec.config.clone(), spec.model, spec.flavor)
         .programs(programs)
         .with_journal()
@@ -287,6 +375,36 @@ mod tests {
         assert!(out.all_done);
         assert!(report.is_clean(), "races: {:?}", report.races);
         assert!(report.epochs_with_writes > 0);
+    }
+
+    #[test]
+    fn banked_clone_matches_fresh_generation() {
+        // run_once serves its programs from the shared pristine-set
+        // bank; a sim built from freshly generated programs (bypassing
+        // the bank) must land on the identical timeline.
+        let s = spec(ModelKind::Asap, WorkloadKind::Cceh);
+        let banked = run_once(&s);
+        let mut sim = SimBuilder::new(s.config.clone(), s.model, s.flavor)
+            .programs(make_workload(s.workload, &params_for(&s)))
+            .build();
+        let out = sim.run_to_completion();
+        assert!(out.all_done);
+        assert_eq!(banked.cycles, sim.now().raw());
+        assert_eq!(banked.media_writes, sim.media_writes());
+
+        let (hits, misses) = workload_bank_stats();
+        assert!(hits + misses > 0, "bank must have been consulted");
+    }
+
+    #[test]
+    fn prewarm_then_run_hits_the_bank() {
+        let s = spec(ModelKind::Hops, WorkloadKind::Heap);
+        prewarm_workloads(std::slice::from_ref(&s));
+        let (hits_before, _) = workload_bank_stats();
+        let out = run_once(&s);
+        assert!(out.all_done);
+        let (hits_after, _) = workload_bank_stats();
+        assert!(hits_after > hits_before, "prewarmed spec must hit the bank");
     }
 
     #[test]

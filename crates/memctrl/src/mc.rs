@@ -5,7 +5,7 @@ use crate::rt::{FlushAction, RecoveryTable};
 use crate::wpq::Wpq;
 use crate::xpbuffer::XpBuffer;
 use asap_pm_mem::{LineSnapshot, NvmImage};
-use asap_sim_core::{Cycle, EpochId, LineAddr, McId, SimConfig, Stats};
+use asap_sim_core::{Cycle, EpochId, LineAddr, LineTable, McId, SimConfig, Stats};
 
 /// A flush packet travelling from a persist buffer to a memory
 /// controller.
@@ -85,6 +85,11 @@ pub struct MemController {
     wpq: Wpq,
     rt: RecoveryTable,
     xp: XpBuffer,
+    /// Per-run address interning, private to this controller: the WPQ,
+    /// recovery table and XPBuffer all key their per-line state by the
+    /// dense index this table assigns in first-arrival order. Indices
+    /// never leave the controller.
+    lines: LineTable,
 }
 
 impl MemController {
@@ -95,6 +100,7 @@ impl MemController {
             wpq: Wpq::with_banks(cfg.wpq_entries, cfg.nvm_write_latency, cfg.nvm_banks),
             rt: RecoveryTable::new(cfg.rt_entries),
             xp: XpBuffer::new(cfg.xpbuffer_lines),
+            lines: LineTable::with_capacity(1024),
         }
     }
 
@@ -106,6 +112,12 @@ impl MemController {
     /// Read-only view of the recovery table.
     pub fn rt(&self) -> &RecoveryTable {
         &self.rt
+    }
+
+    /// The controller's interned index for `line`, if it has ever seen a
+    /// flush to it (diagnostics: RT queries are keyed by this index).
+    pub fn line_idx(&self, line: LineAddr) -> Option<asap_sim_core::LineIdx> {
+        self.lines.lookup(line)
     }
 
     /// Current WPQ occupancy.
@@ -141,17 +153,20 @@ impl MemController {
         nvm: &mut NvmImage,
         stats: &mut Stats,
     ) -> FlushOutcome {
+        // Intern the address once; every per-line structure downstream
+        // (RT, WPQ, XPBuffer) is keyed by the dense index.
+        let idx = self.lines.intern(pkt.line);
         // Rows that write memory need a WPQ slot; rows absorbed by the RT
         // (UndoUpdated, Delayed) do not.
-        let undo_present = self.rt.has_undo(pkt.line);
+        let undo_present = self.rt.has_undo(idx);
 
         if pkt.early {
-            if undo_present || self.rt.has_delay(pkt.line, pkt.epoch) {
+            if undo_present || self.rt.has_delay(idx, pkt.epoch) {
                 // Early + undo present (delay record / NACK when full),
                 // or coalescing into this epoch's existing delay record.
                 let action = self
                     .rt
-                    .handle_flush(pkt.line, pkt.data, pkt.seq, pkt.epoch, true, nvm);
+                    .handle_flush(pkt.line, idx, pkt.data, pkt.seq, pkt.epoch, true, nvm);
                 return self.finish_rt_action(now, action, stats);
             }
             // Early + no undo: needs an RT slot *and* a WPQ slot.
@@ -161,7 +176,7 @@ impl MemController {
             }
             // Reserve WPQ capacity before mutating the RT. The flush is
             // durable (ADR domain) at acceptance, so the ack departs now.
-            let Some(_slot) = self.wpq.push(now, pkt.line) else {
+            let Some(_slot) = self.wpq.push(now, idx) else {
                 return FlushOutcome::Busy {
                     retry_at: self.wpq.next_free_at(),
                 };
@@ -171,30 +186,30 @@ impl MemController {
             // write path (§V-A: "NVM has read/write asymmetry") and so
             // does not steal write-pipe slots.
             stats.nvm_reads += 1;
-            if self.xp.touch(pkt.line) {
+            if self.xp.touch(idx) {
                 stats.xpbuffer_hits += 1;
             }
             let action = self
                 .rt
-                .handle_flush(pkt.line, pkt.data, pkt.seq, pkt.epoch, true, nvm);
+                .handle_flush(pkt.line, idx, pkt.data, pkt.seq, pkt.epoch, true, nvm);
             debug_assert_eq!(action, FlushAction::SpeculativelyPersisted);
             stats.nvm_writes += 1;
             stats.tot_spec_writes += 1;
             stats.total_undo += 1;
             stats.rt_occupancy.record(self.rt.occupancy());
-            self.xp.touch(pkt.line);
+            self.xp.touch(idx);
             FlushOutcome::Accepted {
                 accept_at: now,
                 action,
             }
         } else {
-            let foreign_undo = undo_present && self.rt.undo_creator(pkt.line) != Some(pkt.epoch);
+            let foreign_undo = undo_present && self.rt.undo_creator(idx) != Some(pkt.epoch);
             if foreign_undo {
                 // Safe + undo created by a *different* epoch: the value is
                 // absorbed into the undo record; no media write.
                 let action = self
                     .rt
-                    .handle_flush(pkt.line, pkt.data, pkt.seq, pkt.epoch, false, nvm);
+                    .handle_flush(pkt.line, idx, pkt.data, pkt.seq, pkt.epoch, false, nvm);
                 debug_assert_eq!(action, FlushAction::UndoUpdated);
                 stats.mc_suppressed_writes += 1;
                 return FlushOutcome::Accepted {
@@ -204,17 +219,17 @@ impl MemController {
             }
             // Safe + no undo (or this epoch's own undo): plain WPQ write.
             // Durable at acceptance (ADR domain): ack departs now.
-            let Some(_slot) = self.wpq.push(now, pkt.line) else {
+            let Some(_slot) = self.wpq.push(now, idx) else {
                 return FlushOutcome::Busy {
                     retry_at: self.wpq.next_free_at(),
                 };
             };
             let action = self
                 .rt
-                .handle_flush(pkt.line, pkt.data, pkt.seq, pkt.epoch, false, nvm);
+                .handle_flush(pkt.line, idx, pkt.data, pkt.seq, pkt.epoch, false, nvm);
             debug_assert_eq!(action, FlushAction::Persisted);
             stats.nvm_writes += 1;
-            self.xp.touch(pkt.line);
+            self.xp.touch(idx);
             FlushOutcome::Accepted {
                 accept_at: now,
                 action,
@@ -346,7 +361,8 @@ mod tests {
         assert_eq!(stats.total_undo, 1);
         assert_eq!(stats.tot_spec_writes, 1);
         assert_eq!(stats.nvm_reads, 1);
-        assert!(mc.rt().has_undo(p.line));
+        let idx = mc.lines.lookup(p.line).unwrap();
+        assert!(mc.rt().has_undo(idx));
     }
 
     #[test]

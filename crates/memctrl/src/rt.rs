@@ -21,10 +21,19 @@
 //! The table has finite capacity; early flushes that would need a new
 //! record are NACKed when full (§V-D). Safe flushes never allocate and are
 //! never NACKed, which is what guarantees forward progress (§VI-A).
+//!
+//! Records are matched by the controller's dense interned
+//! [`LineIdx`](asap_sim_core::LineIdx) (the owning [`MemController`]
+//! interns each flush packet's address exactly once); both record kinds
+//! keep the full [`LineAddr`] alongside so memory writes during
+//! commit/crash processing need no reverse lookup. Storage is a pair of
+//! compact vectors scanned linearly — the table is CAM-sized (tens of
+//! entries), where a scan over 4-byte keys beats any hashing.
+//!
+//! [`MemController`]: crate::MemController
 
 use asap_pm_mem::{LineRecord, LineSnapshot, NvmImage};
-use asap_sim_core::{EpochId, LineAddr};
-use std::collections::HashMap;
+use asap_sim_core::{EpochId, LineAddr, LineIdx};
 
 /// What the recovery table did with an incoming flush (Table I row).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +92,25 @@ impl RtRecord {
     }
 }
 
+/// Safe state for one speculatively-updated line.
+#[derive(Debug, Clone)]
+struct UndoRec {
+    idx: LineIdx,
+    line: LineAddr,
+    safe: LineRecord,
+    creator: EpochId,
+}
+
+/// One parked early flush.
+#[derive(Debug, Clone)]
+struct DelayRec {
+    idx: LineIdx,
+    line: LineAddr,
+    data: LineSnapshot,
+    seq: u64,
+    epoch: EpochId,
+}
+
 /// The recovery table of one memory controller.
 ///
 /// # Example
@@ -90,14 +118,15 @@ impl RtRecord {
 /// ```
 /// use asap_memctrl::{FlushAction, RecoveryTable};
 /// use asap_pm_mem::NvmImage;
-/// use asap_sim_core::{EpochId, LineAddr, ThreadId};
+/// use asap_sim_core::{EpochId, LineAddr, LineIdx, ThreadId};
 ///
 /// let mut rt = RecoveryTable::new(32);
 /// let mut nvm = NvmImage::new();
 /// let line = LineAddr::containing(0x100);
+/// let idx = LineIdx(0); // interned by the owning MemController
 /// let e = EpochId::new(ThreadId(0), 1);
 /// // An early flush speculatively updates memory and creates an undo.
-/// let a = rt.handle_flush(line, [9u8; 64], 7, e, true, &mut nvm);
+/// let a = rt.handle_flush(line, idx, [9u8; 64], 7, e, true, &mut nvm);
 /// assert_eq!(a, FlushAction::SpeculativelyPersisted);
 /// assert_eq!(nvm.line(line).data[0], 9);
 /// // Crash now: the undo record restores the old (zero) value.
@@ -106,8 +135,8 @@ impl RtRecord {
 /// ```
 #[derive(Debug, Clone)]
 pub struct RecoveryTable {
-    undo: HashMap<LineAddr, (LineRecord, EpochId)>,
-    delay: Vec<(LineAddr, LineSnapshot, u64, EpochId)>,
+    undo: Vec<UndoRec>,
+    delay: Vec<DelayRec>,
     capacity: usize,
     max_occupancy: usize,
 }
@@ -116,7 +145,7 @@ impl RecoveryTable {
     /// Create a table with `capacity` total record slots (undo + delay).
     pub fn new(capacity: usize) -> RecoveryTable {
         RecoveryTable {
-            undo: HashMap::new(),
+            undo: Vec::new(),
             delay: Vec::new(),
             capacity,
             max_occupancy: 0,
@@ -138,26 +167,24 @@ impl RecoveryTable {
         self.capacity - self.occupancy()
     }
 
-    /// Whether an undo record exists for `line`.
-    pub fn has_undo(&self, line: LineAddr) -> bool {
-        self.undo.contains_key(&line)
+    /// Whether an undo record exists for the line interned as `idx`.
+    pub fn has_undo(&self, idx: LineIdx) -> bool {
+        self.undo.iter().any(|u| u.idx == idx)
     }
 
-    /// The epoch whose early flush created the undo record for `line`.
-    pub fn undo_creator(&self, line: LineAddr) -> Option<EpochId> {
-        self.undo.get(&line).map(|(_, c)| *c)
+    /// The epoch whose early flush created the undo record for `idx`.
+    pub fn undo_creator(&self, idx: LineIdx) -> Option<EpochId> {
+        self.undo.iter().find(|u| u.idx == idx).map(|u| u.creator)
     }
 
-    /// Whether a delay record exists for `(line, epoch)`.
-    pub fn has_delay(&self, line: LineAddr, epoch: EpochId) -> bool {
-        self.delay
-            .iter()
-            .any(|(l, _, _, e)| *l == line && *e == epoch)
+    /// Whether a delay record exists for `(idx, epoch)`.
+    pub fn has_delay(&self, idx: LineIdx, epoch: EpochId) -> bool {
+        self.delay.iter().any(|d| d.idx == idx && d.epoch == epoch)
     }
 
-    /// Number of delay records for `line` (any epoch).
-    pub fn delay_count(&self, line: LineAddr) -> usize {
-        self.delay.iter().filter(|(l, ..)| *l == line).count()
+    /// Number of delay records for `idx` (any epoch).
+    pub fn delay_count(&self, idx: LineIdx) -> usize {
+        self.delay.iter().filter(|d| d.idx == idx).count()
     }
 
     fn note_occupancy(&mut self) {
@@ -166,10 +193,13 @@ impl RecoveryTable {
 
     /// Apply Table I to an incoming flush; mutates `nvm` for the rows
     /// that write memory. Returns the action taken (the caller charges
-    /// media latency and statistics accordingly).
+    /// media latency and statistics accordingly). `idx` is the
+    /// controller's interned index for `line`.
+    #[allow(clippy::too_many_arguments)]
     pub fn handle_flush(
         &mut self,
         line: LineAddr,
+        idx: LineIdx,
         data: LineSnapshot,
         seq: u64,
         epoch: EpochId,
@@ -182,8 +212,8 @@ impl RecoveryTable {
             if line.byte_addr() == want {
                 eprintln!(
                     "RT flush line={line} seq={seq} epoch={epoch} early={early} undo={:?} delays={}",
-                    self.undo_creator(line),
-                    self.delay_count(line)
+                    self.undo_creator(idx),
+                    self.delay_count(idx)
                 );
             }
         }
@@ -197,27 +227,28 @@ impl RecoveryTable {
         if let Some(pos) = self
             .delay
             .iter()
-            .position(|(l, _, _, e)| *l == line && *e == epoch)
+            .position(|d| d.idx == idx && d.epoch == epoch)
         {
             if early {
                 let d = &mut self.delay[pos];
-                d.1 = data;
-                d.2 = seq;
+                d.data = data;
+                d.seq = seq;
                 return FlushAction::Delayed;
             }
             // Safe flush: the parked value is obsolete; drop it and fall
             // through to normal safe handling.
             self.delay.remove(pos);
         }
-        match (early, self.undo.contains_key(&line)) {
-            (false, false) => {
+        let undo_pos = self.undo.iter().position(|u| u.idx == idx);
+        match (early, undo_pos) {
+            (false, None) => {
                 // Safe flush, no undo: normal persist.
                 nvm.persist(line, data, Some(seq), Some(epoch));
                 FlushAction::Persisted
             }
-            (false, true) => {
-                let (rec, creator) = self.undo.get_mut(&line).expect("undo present");
-                if *creator == epoch {
+            (false, Some(pos)) => {
+                let rec = &mut self.undo[pos];
+                if rec.creator == epoch {
                     // The undo record was created by *this* epoch's own
                     // earlier (early) flush, so the speculative value in
                     // memory is an OLDER write of the same epoch (persist
@@ -233,31 +264,42 @@ impl RecoveryTable {
                     // holds a newer speculative value; fold the safe
                     // value into the undo record instead of writing
                     // memory.
-                    rec.data = data;
-                    rec.seq = Some(seq);
-                    rec.epoch = Some(epoch);
+                    rec.safe.data = data;
+                    rec.safe.seq = Some(seq);
+                    rec.safe.epoch = Some(epoch);
                     FlushAction::UndoUpdated
                 }
             }
-            (true, false) => {
+            (true, None) => {
                 // Early flush, no undo: save old value, speculate.
                 if self.free_slots() == 0 {
                     return FlushAction::Nacked;
                 }
                 let old = nvm.line(line);
-                self.undo.insert(line, (old, epoch));
+                self.undo.push(UndoRec {
+                    idx,
+                    line,
+                    safe: old,
+                    creator: epoch,
+                });
                 self.note_occupancy();
                 nvm.persist(line, data, Some(seq), Some(epoch));
                 FlushAction::SpeculativelyPersisted
             }
-            (true, true) => {
+            (true, Some(_)) => {
                 // Early flush, undo present: write collision — delay
                 // (same-epoch coalescing already happened above; §VII-A
                 // "Coalescing in the Recovery Table").
                 if self.free_slots() == 0 {
                     return FlushAction::Nacked;
                 }
-                self.delay.push((line, data, seq, epoch));
+                self.delay.push(DelayRec {
+                    idx,
+                    line,
+                    data,
+                    seq,
+                    epoch,
+                });
                 self.note_occupancy();
                 FlushAction::Delayed
             }
@@ -274,22 +316,22 @@ impl RecoveryTable {
             eprintln!("RT commit epoch={epoch}");
         }
         // Delete undo records belonging to the committing epoch.
-        self.undo.retain(|_, (_, creator)| *creator != epoch);
+        self.undo.retain(|u| u.creator != epoch);
 
         // Extract this epoch's delay records, preserving arrival order.
         let mut media_writes = 0;
         let mut i = 0;
         while i < self.delay.len() {
-            if self.delay[i].3 == epoch {
-                let (line, data, seq, ep) = self.delay.remove(i);
-                if let Some((rec, _)) = self.undo.get_mut(&line) {
+            if self.delay[i].epoch == epoch {
+                let d = self.delay.remove(i);
+                if let Some(rec) = self.undo.iter_mut().find(|u| u.idx == d.idx) {
                     // An undo record (from a different epoch's early
                     // flush) still guards the address: fold the value in.
-                    rec.data = data;
-                    rec.seq = Some(seq);
-                    rec.epoch = Some(ep);
+                    rec.safe.data = d.data;
+                    rec.safe.seq = Some(d.seq);
+                    rec.safe.epoch = Some(d.epoch);
                 } else {
-                    nvm.persist(line, data, Some(seq), Some(ep));
+                    nvm.persist(d.line, d.data, Some(d.seq), Some(d.epoch));
                     media_writes += 1;
                 }
             } else {
@@ -304,34 +346,31 @@ impl RecoveryTable {
     /// number of undo records applied.
     pub fn crash_drain(&mut self, nvm: &mut NvmImage) -> usize {
         let n = self.undo.len();
-        for (line, (safe, _)) in self.undo.drain() {
-            nvm.restore(line, safe);
+        for u in self.undo.drain(..) {
+            nvm.restore(u.line, u.safe);
         }
         self.delay.clear();
         n
     }
 
-    /// Iterate over all records (diagnostics/tests).
+    /// Iterate over all records (diagnostics/tests); undo records first,
+    /// each kind in creation order.
     pub fn records(&self) -> Vec<RtRecord> {
         let mut out: Vec<RtRecord> = self
             .undo
             .iter()
-            .map(|(&line, (safe, creator))| RtRecord::Undo {
-                line,
-                safe: safe.clone(),
-                creator: *creator,
+            .map(|u| RtRecord::Undo {
+                line: u.line,
+                safe: u.safe.clone(),
+                creator: u.creator,
             })
             .collect();
-        out.extend(
-            self.delay
-                .iter()
-                .map(|&(line, data, seq, epoch)| RtRecord::Delay {
-                    line,
-                    data,
-                    seq,
-                    epoch,
-                }),
-        );
+        out.extend(self.delay.iter().map(|d| RtRecord::Delay {
+            line: d.line,
+            data: d.data,
+            seq: d.seq,
+            epoch: d.epoch,
+        }));
         out
     }
 }
@@ -343,6 +382,11 @@ mod tests {
 
     fn la(i: u64) -> LineAddr {
         LineAddr::containing(i * 64)
+    }
+
+    // In tests the interned index is just the line number.
+    fn ix(i: u64) -> LineIdx {
+        LineIdx(i as u32)
     }
 
     fn ep(t: usize, ts: u64) -> EpochId {
@@ -359,7 +403,7 @@ mod tests {
     fn rt_table1_safe_no_undo_persists() {
         let mut rt = RecoveryTable::new(8);
         let mut nvm = NvmImage::new();
-        let a = rt.handle_flush(la(1), snap(5), 1, ep(0, 0), false, &mut nvm);
+        let a = rt.handle_flush(la(1), ix(1), snap(5), 1, ep(0, 0), false, &mut nvm);
         assert_eq!(a, FlushAction::Persisted);
         assert_eq!(nvm.line(la(1)).data[0], 5);
         assert_eq!(rt.occupancy(), 0);
@@ -370,9 +414,9 @@ mod tests {
         let mut rt = RecoveryTable::new(8);
         let mut nvm = NvmImage::new();
         // Early flush (epoch 1) creates undo of the zero state.
-        rt.handle_flush(la(1), snap(9), 2, ep(0, 1), true, &mut nvm);
+        rt.handle_flush(la(1), ix(1), snap(9), 2, ep(0, 1), true, &mut nvm);
         // Older safe flush (epoch 0) arrives late.
-        let a = rt.handle_flush(la(1), snap(4), 1, ep(0, 0), false, &mut nvm);
+        let a = rt.handle_flush(la(1), ix(1), snap(4), 1, ep(0, 0), false, &mut nvm);
         assert_eq!(a, FlushAction::UndoUpdated);
         // Memory keeps the newer speculative value...
         assert_eq!(nvm.line(la(1)).data[0], 9);
@@ -386,10 +430,10 @@ mod tests {
         let mut rt = RecoveryTable::new(8);
         let mut nvm = NvmImage::new();
         nvm.persist(la(2), snap(1), Some(0), None);
-        let a = rt.handle_flush(la(2), snap(7), 5, ep(1, 3), true, &mut nvm);
+        let a = rt.handle_flush(la(2), ix(2), snap(7), 5, ep(1, 3), true, &mut nvm);
         assert_eq!(a, FlushAction::SpeculativelyPersisted);
         assert_eq!(nvm.line(la(2)).data[0], 7);
-        assert!(rt.has_undo(la(2)));
+        assert!(rt.has_undo(ix(2)));
         rt.crash_drain(&mut nvm);
         assert_eq!(nvm.line(la(2)).data[0], 1);
     }
@@ -398,12 +442,12 @@ mod tests {
     fn rt_table1_early_with_undo_delays() {
         let mut rt = RecoveryTable::new(8);
         let mut nvm = NvmImage::new();
-        rt.handle_flush(la(3), snap(7), 5, ep(1, 3), true, &mut nvm);
-        let a = rt.handle_flush(la(3), snap(8), 6, ep(2, 4), true, &mut nvm);
+        rt.handle_flush(la(3), ix(3), snap(7), 5, ep(1, 3), true, &mut nvm);
+        let a = rt.handle_flush(la(3), ix(3), snap(8), 6, ep(2, 4), true, &mut nvm);
         assert_eq!(a, FlushAction::Delayed);
         // Memory untouched by the delayed write.
         assert_eq!(nvm.line(la(3)).data[0], 7);
-        assert_eq!(rt.delay_count(la(3)), 1);
+        assert_eq!(rt.delay_count(ix(3)), 1);
     }
 
     // ---- the Figure 5 write-collision scenario ----
@@ -415,8 +459,8 @@ mod tests {
         // recover A=0 — the naive design in the paper loses it.
         let mut rt = RecoveryTable::new(8);
         let mut nvm = NvmImage::new();
-        rt.handle_flush(la(4), snap(3), 30, ep(3, 1), true, &mut nvm);
-        rt.handle_flush(la(4), snap(2), 20, ep(2, 1), true, &mut nvm);
+        rt.handle_flush(la(4), ix(4), snap(3), 30, ep(3, 1), true, &mut nvm);
+        rt.handle_flush(la(4), ix(4), snap(2), 20, ep(2, 1), true, &mut nvm);
         assert_eq!(nvm.line(la(4)).data[0], 3); // speculative state
         rt.crash_drain(&mut nvm);
         assert_eq!(nvm.line(la(4)).data[0], 0); // initial value recovered
@@ -429,13 +473,13 @@ mod tests {
         // deletes the undo. Final memory value is T3's (the newest).
         let mut rt = RecoveryTable::new(8);
         let mut nvm = NvmImage::new();
-        rt.handle_flush(la(4), snap(3), 30, ep(3, 1), true, &mut nvm);
-        rt.handle_flush(la(4), snap(2), 20, ep(2, 1), true, &mut nvm);
+        rt.handle_flush(la(4), ix(4), snap(3), 30, ep(3, 1), true, &mut nvm);
+        rt.handle_flush(la(4), ix(4), snap(2), 20, ep(2, 1), true, &mut nvm);
         // T2 (older write) commits first; its delay value becomes the
         // safe value inside the undo record.
         rt.commit_epoch(ep(2, 1), &mut nvm);
-        assert!(rt.has_undo(la(4)));
-        assert_eq!(rt.delay_count(la(4)), 0);
+        assert!(rt.has_undo(ix(4)));
+        assert_eq!(rt.delay_count(ix(4)), 0);
         // Crash here would now restore 2, not 0:
         let mut crashed = nvm.clone();
         rt.clone().crash_drain(&mut crashed);
@@ -452,19 +496,19 @@ mod tests {
     fn commit_deletes_own_undo_only() {
         let mut rt = RecoveryTable::new(8);
         let mut nvm = NvmImage::new();
-        rt.handle_flush(la(5), snap(1), 1, ep(0, 1), true, &mut nvm);
-        rt.handle_flush(la(6), snap(2), 2, ep(1, 1), true, &mut nvm);
+        rt.handle_flush(la(5), ix(5), snap(1), 1, ep(0, 1), true, &mut nvm);
+        rt.handle_flush(la(6), ix(6), snap(2), 2, ep(1, 1), true, &mut nvm);
         rt.commit_epoch(ep(0, 1), &mut nvm);
-        assert!(!rt.has_undo(la(5)));
-        assert!(rt.has_undo(la(6)));
+        assert!(!rt.has_undo(ix(5)));
+        assert!(rt.has_undo(ix(6)));
     }
 
     #[test]
     fn commit_applies_delay_to_memory_when_no_undo_remains() {
         let mut rt = RecoveryTable::new(8);
         let mut nvm = NvmImage::new();
-        rt.handle_flush(la(7), snap(1), 1, ep(0, 1), true, &mut nvm);
-        rt.handle_flush(la(7), snap(9), 2, ep(1, 1), true, &mut nvm); // delayed
+        rt.handle_flush(la(7), ix(7), snap(1), 1, ep(0, 1), true, &mut nvm);
+        rt.handle_flush(la(7), ix(7), snap(9), 2, ep(1, 1), true, &mut nvm); // delayed
         rt.commit_epoch(ep(0, 1), &mut nvm); // undo gone
         let writes = rt.commit_epoch(ep(1, 1), &mut nvm); // delay applies
         assert_eq!(writes, 1);
@@ -476,10 +520,10 @@ mod tests {
     fn delay_coalesces_same_epoch_same_line() {
         let mut rt = RecoveryTable::new(8);
         let mut nvm = NvmImage::new();
-        rt.handle_flush(la(8), snap(1), 1, ep(0, 1), true, &mut nvm);
-        rt.handle_flush(la(8), snap(2), 2, ep(1, 1), true, &mut nvm);
-        rt.handle_flush(la(8), snap(3), 3, ep(1, 1), true, &mut nvm);
-        assert_eq!(rt.delay_count(la(8)), 1); // coalesced
+        rt.handle_flush(la(8), ix(8), snap(1), 1, ep(0, 1), true, &mut nvm);
+        rt.handle_flush(la(8), ix(8), snap(2), 2, ep(1, 1), true, &mut nvm);
+        rt.handle_flush(la(8), ix(8), snap(3), 3, ep(1, 1), true, &mut nvm);
+        assert_eq!(rt.delay_count(ix(8)), 1); // coalesced
         rt.commit_epoch(ep(0, 1), &mut nvm);
         rt.commit_epoch(ep(1, 1), &mut nvm);
         assert_eq!(nvm.line(la(8)).data[0], 3); // newest coalesced value
@@ -492,37 +536,37 @@ mod tests {
         let mut rt = RecoveryTable::new(2);
         let mut nvm = NvmImage::new();
         assert_eq!(
-            rt.handle_flush(la(10), snap(1), 1, ep(0, 1), true, &mut nvm),
+            rt.handle_flush(la(10), ix(10), snap(1), 1, ep(0, 1), true, &mut nvm),
             FlushAction::SpeculativelyPersisted
         );
         assert_eq!(
-            rt.handle_flush(la(11), snap(2), 2, ep(0, 1), true, &mut nvm),
+            rt.handle_flush(la(11), ix(11), snap(2), 2, ep(0, 1), true, &mut nvm),
             FlushAction::SpeculativelyPersisted
         );
         // Table full: a third early flush is NACKed...
         assert_eq!(
-            rt.handle_flush(la(12), snap(3), 3, ep(0, 2), true, &mut nvm),
+            rt.handle_flush(la(12), ix(12), snap(3), 3, ep(0, 2), true, &mut nvm),
             FlushAction::Nacked
         );
         // ...and a colliding early flush is NACKed too (needs a delay
         // slot)...
         assert_eq!(
-            rt.handle_flush(la(10), snap(4), 4, ep(1, 1), true, &mut nvm),
+            rt.handle_flush(la(10), ix(10), snap(4), 4, ep(1, 1), true, &mut nvm),
             FlushAction::Nacked
         );
         // ...but safe flushes always proceed.
         assert_eq!(
-            rt.handle_flush(la(12), snap(5), 5, ep(0, 1), false, &mut nvm),
+            rt.handle_flush(la(12), ix(12), snap(5), 5, ep(0, 1), false, &mut nvm),
             FlushAction::Persisted
         );
         // Safe flush from a *different* epoch folds into the undo record.
         assert_eq!(
-            rt.handle_flush(la(10), snap(6), 6, ep(2, 1), false, &mut nvm),
+            rt.handle_flush(la(10), ix(10), snap(6), 6, ep(2, 1), false, &mut nvm),
             FlushAction::UndoUpdated
         );
         // Safe flush from the undo's own creator epoch writes through.
         assert_eq!(
-            rt.handle_flush(la(10), snap(7), 7, ep(0, 1), false, &mut nvm),
+            rt.handle_flush(la(10), ix(10), snap(7), 7, ep(0, 1), false, &mut nvm),
             FlushAction::Persisted
         );
         assert_eq!(nvm.line(la(10)).data[0], 7);
@@ -533,8 +577,8 @@ mod tests {
     fn records_lists_everything() {
         let mut rt = RecoveryTable::new(8);
         let mut nvm = NvmImage::new();
-        rt.handle_flush(la(13), snap(1), 1, ep(0, 1), true, &mut nvm);
-        rt.handle_flush(la(13), snap(2), 2, ep(1, 1), true, &mut nvm);
+        rt.handle_flush(la(13), ix(13), snap(1), 1, ep(0, 1), true, &mut nvm);
+        rt.handle_flush(la(13), ix(13), snap(2), 2, ep(1, 1), true, &mut nvm);
         let recs = rt.records();
         assert_eq!(recs.len(), 2);
         assert!(recs.iter().all(|r| r.line() == la(13)));
@@ -546,9 +590,9 @@ mod tests {
     fn crash_drain_reports_count_and_clears() {
         let mut rt = RecoveryTable::new(8);
         let mut nvm = NvmImage::new();
-        rt.handle_flush(la(14), snap(1), 1, ep(0, 1), true, &mut nvm);
-        rt.handle_flush(la(15), snap(2), 2, ep(0, 1), true, &mut nvm);
-        rt.handle_flush(la(14), snap(3), 3, ep(1, 1), true, &mut nvm); // delay
+        rt.handle_flush(la(14), ix(14), snap(1), 1, ep(0, 1), true, &mut nvm);
+        rt.handle_flush(la(15), ix(15), snap(2), 2, ep(0, 1), true, &mut nvm);
+        rt.handle_flush(la(14), ix(14), snap(3), 3, ep(1, 1), true, &mut nvm); // delay
         assert_eq!(rt.crash_drain(&mut nvm), 2);
         assert_eq!(rt.occupancy(), 0);
     }

@@ -11,13 +11,17 @@
 //!
 //! Entries that have not started their media write yet can coalesce with
 //! an incoming flush to the same line (§VII-A "Coalescing in the WPQ").
+//!
+//! Entries identify lines by the controller's dense interned
+//! [`LineIdx`], keeping each record at 20 bytes and the coalescing scan a
+//! compare over 4-byte keys.
 
-use asap_sim_core::{Cycle, LineAddr};
+use asap_sim_core::{Cycle, LineIdx};
 use std::collections::VecDeque;
 
 #[derive(Debug, Clone, Copy)]
 struct WpqEntry {
-    line: LineAddr,
+    line: LineIdx,
     /// When the media write for this entry begins.
     start: Cycle,
     /// When it completes and the entry leaves the queue.
@@ -31,11 +35,11 @@ struct WpqEntry {
 ///
 /// ```
 /// use asap_memctrl::Wpq;
-/// use asap_sim_core::{Cycle, LineAddr};
+/// use asap_sim_core::{Cycle, LineIdx};
 ///
 /// let mut w = Wpq::new(16, Cycle::from_ns(90));
 /// // The pipe is idle: the write is scheduled immediately.
-/// let slot = w.push(Cycle(0), LineAddr::containing(0)).unwrap();
+/// let slot = w.push(Cycle(0), LineIdx(0)).unwrap();
 /// assert_eq!(slot, Cycle(0));
 /// ```
 #[derive(Debug, Clone)]
@@ -123,7 +127,7 @@ impl Wpq {
     /// therefore acks more slowly, which is what makes synchronous fences
     /// expensive on contended memory — the effect the buffered designs
     /// exist to hide.
-    pub fn push(&mut self, now: Cycle, line: LineAddr) -> Option<Cycle> {
+    pub fn push(&mut self, now: Cycle, line: LineIdx) -> Option<Cycle> {
         self.expire(now);
         // Coalesce with a same-line entry whose media write has not
         // started yet.
@@ -182,8 +186,8 @@ impl Wpq {
 mod tests {
     use super::*;
 
-    fn la(i: u64) -> LineAddr {
-        LineAddr::containing(i * 64)
+    fn la(i: u32) -> LineIdx {
+        LineIdx(i)
     }
 
     const W: Cycle = Cycle(180); // 90ns at 2GHz

@@ -6,8 +6,11 @@
 //! model it as a fully-associative LRU over recently touched lines; an
 //! undo-record read that hits here costs [`XpBuffer`]'s cheap latency
 //! instead of a full 175 ns media read.
+//!
+//! Lines are identified by the controller's dense interned [`LineIdx`],
+//! so the LRU scan compares 4-byte keys.
 
-use asap_sim_core::LineAddr;
+use asap_sim_core::LineIdx;
 use std::collections::VecDeque;
 
 /// LRU line cache in front of the NVM media.
@@ -16,16 +19,16 @@ use std::collections::VecDeque;
 ///
 /// ```
 /// use asap_memctrl::XpBuffer;
-/// use asap_sim_core::LineAddr;
+/// use asap_sim_core::LineIdx;
 ///
 /// let mut xp = XpBuffer::new(4);
-/// let line = LineAddr::containing(0x40);
+/// let line = LineIdx(7);
 /// assert!(!xp.touch(line)); // cold miss, now cached
 /// assert!(xp.touch(line)); // hit
 /// ```
 #[derive(Debug, Clone)]
 pub struct XpBuffer {
-    lru: VecDeque<LineAddr>,
+    lru: VecDeque<LineIdx>,
     capacity: usize,
     hits: u64,
     misses: u64,
@@ -44,7 +47,7 @@ impl XpBuffer {
 
     /// Access `line`: returns `true` on a hit. Either way the line becomes
     /// most-recently-used (misses allocate).
-    pub fn touch(&mut self, line: LineAddr) -> bool {
+    pub fn touch(&mut self, line: LineIdx) -> bool {
         if let Some(pos) = self.lru.iter().position(|&l| l == line) {
             self.lru.remove(pos);
             self.lru.push_back(line);
@@ -75,8 +78,8 @@ impl XpBuffer {
 mod tests {
     use super::*;
 
-    fn la(i: u64) -> LineAddr {
-        LineAddr::containing(i * 64)
+    fn la(i: u32) -> LineIdx {
+        LineIdx(i)
     }
 
     #[test]

@@ -28,9 +28,11 @@
 mod alloc;
 mod journal;
 mod nvm;
+mod pool;
 mod space;
 
 pub use alloc::{AllocError, PmAllocator};
 pub use journal::{JournalEntry, WriteJournal, WriteSeq};
 pub use nvm::{LineRecord, NvmImage};
+pub use pool::SnapshotPool;
 pub use space::{LineSnapshot, PmSpace};

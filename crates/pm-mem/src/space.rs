@@ -58,16 +58,34 @@ impl PmSpace {
     }
 
     /// Read `buf.len()` bytes starting at `addr`.
+    ///
+    /// Works a page at a time: the hot path (line snapshots, word loads)
+    /// costs one page lookup, not one per byte.
     pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
-        for (i, b) in buf.iter_mut().enumerate() {
-            *b = self.read_u8(addr + i as u64);
+        let mut addr = addr;
+        let mut buf = buf;
+        while !buf.is_empty() {
+            let (pno, off) = Self::page_of(addr);
+            let n = buf.len().min(PAGE_BYTES - off);
+            match self.pages.get(&pno) {
+                Some(p) => buf[..n].copy_from_slice(&p[off..off + n]),
+                None => buf[..n].fill(0),
+            }
+            addr += n as u64;
+            buf = &mut buf[n..];
         }
     }
 
     /// Write `data` starting at `addr`.
     pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
-        for (i, &b) in data.iter().enumerate() {
-            self.write_u8(addr + i as u64, b);
+        let mut addr = addr;
+        let mut data = data;
+        while !data.is_empty() {
+            let (pno, off) = Self::page_of(addr);
+            let n = data.len().min(PAGE_BYTES - off);
+            self.page_mut(pno)[off..off + n].copy_from_slice(&data[..n]);
+            addr += n as u64;
+            data = &data[n..];
         }
     }
 

@@ -15,6 +15,9 @@
 //!   histograms used by Figures 11 and 12.
 //! * [`DetRng`] — a seeded deterministic random number generator so every
 //!   experiment is exactly reproducible.
+//! * [`LineTable`] — per-run address interning ([`LineAddr`] →
+//!   dense [`LineIdx`]) so hot per-line state can live in flat vectors
+//!   with deterministic first-touch iteration order.
 //! * [`Tracer`] — structured trace sinks ([`NullTracer`], [`TextTracer`],
 //!   Chrome/Perfetto-format [`ChromeTracer`]) fed typed [`TraceRecord`]s
 //!   by the engine, and [`Sampler`] — a periodic occupancy/bandwidth
@@ -41,6 +44,7 @@
 mod config;
 mod events;
 mod ids;
+mod intern;
 mod rng;
 mod sample;
 mod stats;
@@ -50,6 +54,7 @@ mod trace;
 pub use config::{ConfigError, Flavor, ModelKind, SimConfig, SimConfigBuilder};
 pub use events::EventQueue;
 pub use ids::{EpochId, LineAddr, McId, ThreadId, CACHE_LINE_BYTES, CACHE_LINE_SHIFT};
+pub use intern::{LineIdx, LineTable};
 pub use rng::DetRng;
 pub use sample::Sampler;
 pub use stats::{Histogram, RunningStat, StatSnapshot, Stats};

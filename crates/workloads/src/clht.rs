@@ -35,6 +35,7 @@ pub(crate) fn next_addr(bucket: u64) -> u64 {
     bucket + 48
 }
 
+#[derive(Clone)]
 enum Phase {
     Idle,
     Locked {
@@ -46,6 +47,7 @@ enum Phase {
 }
 
 /// P-CLHT update-heavy workload.
+#[derive(Clone)]
 pub struct PClht {
     #[allow(dead_code)]
     tid: usize,
@@ -126,6 +128,10 @@ impl PClht {
 }
 
 impl ThreadProgram for PClht {
+    fn boxed_clone(&self) -> Option<Box<dyn ThreadProgram>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn next_burst(&mut self, tid: ThreadId, ctx: &mut BurstCtx<'_>) -> BurstStatus {
         init_once(ctx, CLHT_INIT_FLAG, |_| {
             // Buckets live in a statically-addressed zeroed region: no

@@ -160,7 +160,7 @@ impl KeySampler {
 ///
 /// Threads allocate from disjoint regions so allocation itself needs no
 /// synchronization (mirroring per-thread allocator classes in PMDK).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Arena {
     alloc: PmAllocator,
 }

@@ -150,30 +150,50 @@ impl FromStr for WorkloadKind {
     }
 }
 
+fn make_program(
+    kind: WorkloadKind,
+    t: usize,
+    params: &WorkloadParams,
+) -> Box<dyn ThreadProgram + Send + Sync> {
+    use WorkloadKind::*;
+    match kind {
+        Nstore => Box::new(apps::nstore::Nstore::new(t, params)),
+        Echo => Box::new(apps::echo::Echo::new(t, params)),
+        Vacation => Box::new(apps::vacation::Vacation::new(t, params)),
+        Memcached => Box::new(apps::memcached::Memcached::new(t, params)),
+        Heap => Box::new(atlas::heap::AtlasHeap::new(t, params)),
+        Queue => Box::new(atlas::queue::AtlasQueue::new(t, params)),
+        Skiplist => Box::new(atlas::skiplist::AtlasSkiplist::new(t, params)),
+        Cceh => Box::new(exthash::ExtHash::new_cceh(t, params)),
+        FastFair => Box::new(btree::FastFair::new(t, params)),
+        DashLh => Box::new(levelhash::LevelHash::new(t, params)),
+        DashEh => Box::new(exthash::ExtHash::new_dash(t, params)),
+        PArt => Box::new(art::PArt::new(t, params)),
+        PClht => Box::new(clht::PClht::new(t, params)),
+        PMasstree => Box::new(btree::FastFair::new_masstree(t, params)),
+        Bandwidth => Box::new(bandwidth::Bandwidth::new(t, params)),
+    }
+}
+
 /// Build the thread programs for `kind`: one program per thread, sharing
 /// one structure instance.
 pub fn make_workload(kind: WorkloadKind, params: &WorkloadParams) -> Vec<Box<dyn ThreadProgram>> {
-    use WorkloadKind::*;
     (0..params.threads)
-        .map(|t| -> Box<dyn ThreadProgram> {
-            match kind {
-                Nstore => Box::new(apps::nstore::Nstore::new(t, params)),
-                Echo => Box::new(apps::echo::Echo::new(t, params)),
-                Vacation => Box::new(apps::vacation::Vacation::new(t, params)),
-                Memcached => Box::new(apps::memcached::Memcached::new(t, params)),
-                Heap => Box::new(atlas::heap::AtlasHeap::new(t, params)),
-                Queue => Box::new(atlas::queue::AtlasQueue::new(t, params)),
-                Skiplist => Box::new(atlas::skiplist::AtlasSkiplist::new(t, params)),
-                Cceh => Box::new(exthash::ExtHash::new_cceh(t, params)),
-                FastFair => Box::new(btree::FastFair::new(t, params)),
-                DashLh => Box::new(levelhash::LevelHash::new(t, params)),
-                DashEh => Box::new(exthash::ExtHash::new_dash(t, params)),
-                PArt => Box::new(art::PArt::new(t, params)),
-                PClht => Box::new(clht::PClht::new(t, params)),
-                PMasstree => Box::new(btree::FastFair::new_masstree(t, params)),
-                Bandwidth => Box::new(bandwidth::Bandwidth::new(t, params)),
-            }
-        })
+        .map(|t| make_program(kind, t, params) as Box<dyn ThreadProgram>)
+        .collect()
+}
+
+/// [`make_workload`], but the boxes are `Send + Sync` so a pristine
+/// program set can sit behind an `Arc` shared across sweep workers, each
+/// worker stamping out its own copy via
+/// [`ThreadProgram::boxed_clone`]. Every suite workload supports
+/// cloning, so `p.boxed_clone().unwrap()` never fails on these sets.
+pub fn make_workload_shared(
+    kind: WorkloadKind,
+    params: &WorkloadParams,
+) -> Vec<Box<dyn ThreadProgram + Send + Sync>> {
+    (0..params.threads)
+        .map(|t| make_program(kind, t, params))
         .collect()
 }
 
@@ -193,6 +213,26 @@ mod tests {
     #[test]
     fn all_lists_fourteen() {
         assert_eq!(WorkloadKind::all().len(), 14);
+    }
+
+    #[test]
+    fn every_suite_workload_supports_pristine_cloning() {
+        let params = WorkloadParams {
+            threads: 2,
+            ops_per_thread: 5,
+            seed: 3,
+            ..Default::default()
+        };
+        for k in WorkloadKind::all()
+            .into_iter()
+            .chain([WorkloadKind::Bandwidth])
+        {
+            for p in make_workload_shared(k, &params) {
+                let c = p.boxed_clone();
+                assert!(c.is_some(), "{k}: suite programs must be cloneable");
+                assert_eq!(c.unwrap().name(), p.name(), "{k}");
+            }
+        }
     }
 
     #[test]

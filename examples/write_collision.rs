@@ -27,10 +27,11 @@ fn pkt(val: u8, seq: u64, thread: usize, ts: u64, early: bool) -> FlushPacket {
 
 fn show(step: &str, mc: &MemController, nvm: &NvmImage) {
     let line = LineAddr::containing(0x40);
+    let idx = mc.line_idx(line);
     println!(
         "{step:<46} | A = {} | undo: {} | delay records: {}",
         nvm.line(line).data[0],
-        if mc.rt().has_undo(line) {
+        if idx.is_some_and(|i| mc.rt().has_undo(i)) {
             format!("safe={}", {
                 // records() exposes the undo's safe data for inspection
                 let recs = mc.rt().records();
@@ -44,7 +45,7 @@ fn show(step: &str, mc: &MemController, nvm: &NvmImage) {
         } else {
             "none".into()
         },
-        mc.rt().delay_count(line),
+        idx.map_or(0, |i| mc.rt().delay_count(i)),
     );
 }
 

@@ -11,8 +11,10 @@ use asap::cache::CountingBloom;
 use asap::mc::RecoveryTable;
 use asap::model::DepGraph;
 use asap::pm::{NvmImage, PmAllocator, PmSpace};
-use asap::sim::{Cycle, DetRng, EpochId, EventQueue, Histogram, LineAddr, ThreadId};
-use std::collections::HashMap;
+use asap::sim::{
+    Cycle, DetRng, EpochId, EventQueue, Histogram, LineAddr, LineIdx, LineTable, ThreadId,
+};
+use std::collections::{HashMap, HashSet};
 
 const CASES: u64 = 64;
 
@@ -114,11 +116,14 @@ fn rt_crash_never_leaks_uncommitted_early_values() {
             let early = rng.chance(0.5);
             let val = rng.range_inclusive(1, 254) as u8;
             let line = LineAddr::containing(slot * 64);
+            // The slot number doubles as the interned index (the RT only
+            // compares indices for equality).
+            let idx = LineIdx(slot as u32);
             seq += 1;
             // Early flushes come from the NEW (unsafe) epoch; safe ones
             // from the OLD epoch.
             let epoch = if early { e_new } else { e_old };
-            let _ = rt.handle_flush(line, [val; 64], seq, epoch, early, &mut nvm);
+            let _ = rt.handle_flush(line, idx, [val; 64], seq, epoch, early, &mut nvm);
             if !early {
                 last_safe.insert(line, val);
             }
@@ -277,5 +282,192 @@ fn protocol_shaped_dep_graphs_are_acyclic() {
             g.topological_order().is_some(),
             "case {case}: protocol-shaped graph must be a DAG"
         );
+    }
+}
+
+// ---- address interning ----
+
+/// [`LineTable`] agrees with a model `HashMap` on every intern/lookup,
+/// and hands out dense first-touch indices — including across the
+/// open-addressed table's growth (footprint overflow past the initial
+/// capacity).
+#[test]
+fn line_table_matches_hashmap_model() {
+    for case in 0..CASES {
+        let mut rng = case_rng(10, case);
+        // Small initial capacity so most cases overflow and rehash.
+        let mut table = LineTable::with_capacity(4);
+        let mut model: HashMap<LineAddr, usize> = HashMap::new();
+        let universe = rng.below(300) + 1;
+        let ops = rng.index(400) + 1;
+        for _ in 0..ops {
+            let line = LineAddr::containing(rng.below(universe) * 64);
+            if rng.chance(0.7) {
+                let next = model.len();
+                let expect = *model.entry(line).or_insert(next);
+                let idx = table.intern(line);
+                assert_eq!(
+                    idx.as_usize(),
+                    expect,
+                    "case {case}: dense first-touch order"
+                );
+            } else {
+                assert_eq!(
+                    table.lookup(line).map(LineIdx::as_usize),
+                    model.get(&line).copied(),
+                    "case {case}: lookup must agree with the model"
+                );
+            }
+        }
+        assert_eq!(table.len(), model.len(), "case {case}");
+        for (&line, &idx) in &model {
+            let got = table.lookup(line).expect("interned line must resolve");
+            assert_eq!(got.as_usize(), idx, "case {case}");
+            assert_eq!(table.addr_of(got), line, "case {case}: addr_of round-trip");
+        }
+    }
+}
+
+// ---- dense dependency graph vs map-based model ----
+
+/// The old map-based `DepGraph` semantics, re-implemented as the test
+/// model: the dense per-thread-lane version must agree with it on every
+/// query after a random protocol-shaped op sequence.
+#[derive(Default)]
+struct MapDepGraph {
+    created: HashMap<EpochId, u64>,
+    committed: HashMap<EpochId, u64>,
+    cross: HashMap<EpochId, Vec<EpochId>>,
+    clock: u64,
+}
+
+impl MapDepGraph {
+    fn ensure(&mut self, e: EpochId) {
+        if !self.created.contains_key(&e) {
+            self.clock += 1;
+            self.created.insert(e, self.clock);
+        }
+    }
+
+    fn add_cross_dep(&mut self, dependent: EpochId, source: EpochId) {
+        self.ensure(dependent);
+        self.ensure(source);
+        self.cross.entry(dependent).or_default().push(source);
+    }
+
+    fn mark_committed(&mut self, e: EpochId) {
+        self.ensure(e);
+        if !self.committed.contains_key(&e) {
+            self.clock += 1;
+            self.committed.insert(e, self.clock);
+        }
+    }
+
+    fn direct_deps(&self, e: EpochId) -> Vec<EpochId> {
+        let mut out = Vec::new();
+        if e.ts > 0 {
+            out.push(EpochId::new(e.thread, e.ts - 1));
+        }
+        if let Some(cs) = self.cross.get(&e) {
+            out.extend(cs.iter().copied());
+        }
+        out
+    }
+
+    fn transitive_deps(&self, e: EpochId) -> HashSet<EpochId> {
+        let mut seen = HashSet::new();
+        let mut queue = self.direct_deps(e);
+        while let Some(d) = queue.pop() {
+            if seen.insert(d) {
+                queue.extend(self.direct_deps(d));
+            }
+        }
+        seen
+    }
+}
+
+#[test]
+fn dense_dep_graph_matches_map_model() {
+    for case in 0..CASES {
+        let mut rng = case_rng(11, case);
+        let mut dense = DepGraph::new();
+        let mut model = MapDepGraph::default();
+        let ops = rng.index(120) + 1;
+        for _ in 0..ops {
+            let e = EpochId::new(ThreadId(rng.index(4)), rng.below(24));
+            match rng.index(3) {
+                0 => {
+                    dense.ensure(e);
+                    model.ensure(e);
+                }
+                1 => {
+                    let src = EpochId::new(ThreadId(rng.index(4)), rng.below(24));
+                    dense.add_cross_dep(e, src);
+                    model.add_cross_dep(e, src);
+                }
+                _ => {
+                    dense.mark_committed(e);
+                    model.mark_committed(e);
+                }
+            }
+        }
+
+        assert_eq!(dense.len(), model.created.len(), "case {case}");
+        assert_eq!(dense.now(), model.clock, "case {case}");
+        let nodes: Vec<EpochId> = dense.nodes().collect();
+        let mut expect_nodes: Vec<EpochId> = model.created.keys().copied().collect();
+        expect_nodes.sort();
+        assert_eq!(
+            nodes, expect_nodes,
+            "case {case}: thread-major ts-minor order"
+        );
+
+        let committed: Vec<EpochId> = dense.committed().collect();
+        let mut expect_committed: Vec<EpochId> = model.committed.keys().copied().collect();
+        expect_committed.sort();
+        assert_eq!(committed, expect_committed, "case {case}");
+
+        // Probe registered epochs and never-registered neighbours alike.
+        for t in 0..5 {
+            for ts in 0..26 {
+                let e = EpochId::new(ThreadId(t), ts);
+                assert_eq!(
+                    dense.is_committed(e),
+                    model.committed.contains_key(&e),
+                    "case {case} {e:?}"
+                );
+                assert_eq!(
+                    dense.creation_stamp(e),
+                    model.created.get(&e).copied(),
+                    "case {case} {e:?}"
+                );
+                assert_eq!(
+                    dense.commit_stamp(e),
+                    model.committed.get(&e).copied(),
+                    "case {case} {e:?}"
+                );
+                let empty = Vec::new();
+                assert_eq!(
+                    dense.cross_deps_of(e),
+                    model
+                        .cross
+                        .get(&e)
+                        .filter(|_| model.created.contains_key(&e))
+                        .unwrap_or(&empty)
+                        .as_slice(),
+                    "case {case} {e:?}"
+                );
+                assert_eq!(
+                    dense.direct_deps(e),
+                    model.direct_deps(e),
+                    "case {case} {e:?}"
+                );
+                assert_eq!(
+                    dense.transitive_deps(e),
+                    model.transitive_deps(e),
+                    "case {case} {e:?}"
+                );
+            }
+        }
     }
 }
