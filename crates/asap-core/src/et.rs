@@ -54,6 +54,22 @@ struct EpochEntry {
     committing: bool,
 }
 
+impl EpochEntry {
+    /// Zero the entry for reuse, keeping the capacity of its vectors —
+    /// the point of the free-list: a recycled entry's `deps`/
+    /// `dependents`/`early_mcs` never re-allocate in steady state.
+    fn reset(&mut self) {
+        self.pending_writes = 0;
+        self.writes_total = 0;
+        self.closed = false;
+        self.deps.clear();
+        self.dependents.clear();
+        self.early_mcs.clear();
+        self.commit_acks_pending = 0;
+        self.committing = false;
+    }
+}
+
 /// The epoch table of one core.
 ///
 /// # Example
@@ -84,6 +100,9 @@ pub struct EpochTable {
     capacity: usize,
     last_committed: Option<u64>,
     max_occupancy: usize,
+    /// Free-list of committed entries awaiting reuse (their internal
+    /// vectors keep their capacity across the recycle).
+    spare: Vec<EpochEntry>,
 }
 
 impl EpochTable {
@@ -97,6 +116,7 @@ impl EpochTable {
             capacity,
             last_committed: None,
             max_occupancy: 0,
+            spare: Vec::new(),
         }
     }
 
@@ -171,7 +191,7 @@ impl EpochTable {
         let next = self.base_ts + self.entries.len() as u64;
         assert!(ts >= next, "epoch {ts} opened twice");
         assert_eq!(ts, next, "epochs must open in consecutive ts order");
-        self.entries.push_back(EpochEntry::default());
+        self.entries.push_back(self.spare.pop().unwrap_or_default());
         self.max_occupancy = self.max_occupancy.max(self.entries.len());
     }
 
@@ -323,11 +343,21 @@ impl EpochTable {
     /// receive commit messages (empty ⇒ the caller may finish the commit
     /// immediately).
     pub fn begin_commit(&mut self, ts: u64) -> Vec<McId> {
+        let mut mcs = Vec::new();
+        self.begin_commit_into(ts, &mut mcs);
+        mcs
+    }
+
+    /// Allocation-free [`begin_commit`](Self::begin_commit): the commit
+    /// MC set is written into `out` (cleared first). The engine
+    /// round-trips one scratch vector through every commit.
+    pub fn begin_commit_into(&mut self, ts: u64, out: &mut Vec<McId>) {
         let e = self.entry_mut(ts);
         debug_assert!(!e.committing);
         e.committing = true;
         e.commit_acks_pending = e.early_mcs.len();
-        e.early_mcs.clone()
+        out.clear();
+        out.extend_from_slice(&e.early_mcs);
     }
 
     /// A commit ack arrived from an MC; returns `true` when all acks are
@@ -347,13 +377,32 @@ impl EpochTable {
     /// Panics if `ts` is not the oldest in-flight epoch (commits are in
     /// order) or writes are still pending.
     pub fn finish_commit(&mut self, ts: u64) -> Vec<ThreadId> {
+        let mut deps = Vec::new();
+        self.finish_commit_into(ts, &mut deps);
+        deps
+    }
+
+    /// Allocation-free [`finish_commit`](Self::finish_commit): the
+    /// dependent threads are written into `out` (cleared first) and the
+    /// committed entry is recycled onto the table's free-list.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`finish_commit`](Self::finish_commit).
+    pub fn finish_commit_into(&mut self, ts: u64, out: &mut Vec<ThreadId>) {
         assert!(!self.entries.is_empty(), "entry exists");
         assert_eq!(self.base_ts, ts, "commits must be in timestamp order");
-        let e = self.entries.pop_front().expect("entry exists");
+        let mut e = self.entries.pop_front().expect("entry exists");
         assert_eq!(e.pending_writes, 0);
         self.base_ts += 1;
         self.last_committed = Some(ts);
-        e.dependents
+        out.clear();
+        out.extend_from_slice(&e.dependents);
+        e.reset();
+        // Bound the free-list by table capacity (its natural maximum).
+        if self.spare.len() < self.capacity {
+            self.spare.push(e);
+        }
     }
 
     /// Timestamp of the most recently committed epoch.

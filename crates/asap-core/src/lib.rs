@@ -96,7 +96,7 @@ pub use ops::{BurstCtx, BurstStatus, MemOp, ThreadProgram};
 pub use oracle::CrashReport;
 pub use pb::{PbEntry, PbEntryState, PersistBuffer};
 pub use race::{RaceFinding, RaceReport};
-pub use sim::{Sim, SimBuilder, SimOutcome};
+pub use sim::{default_queue_kind, set_default_queue_kind, Sim, SimBuilder, SimOutcome};
 
 // Re-export the model/flavor selectors where users expect them.
-pub use asap_sim_core::{Flavor, ModelKind};
+pub use asap_sim_core::{Flavor, ModelKind, QueueKind};

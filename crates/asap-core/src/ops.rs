@@ -168,6 +168,30 @@ impl<'a> BurstCtx<'a> {
         }
     }
 
+    /// Like [`BurstCtx::with_pool`], additionally reusing caller-owned op
+    /// and preinit buffers (cleared here). The engine round-trips its
+    /// scratch buffers through every burst so steady-state burst
+    /// generation allocates nothing; [`BurstCtx::into_parts`] hands the
+    /// (possibly re-grown) buffers back.
+    pub fn with_buffers(
+        pm: &'a mut PmSpace,
+        journal: &'a mut WriteJournal,
+        pool: &'a mut SnapshotPool,
+        mut ops: Vec<MemOp>,
+        mut preinit_lines: Vec<LineAddr>,
+    ) -> BurstCtx<'a> {
+        ops.clear();
+        preinit_lines.clear();
+        BurstCtx {
+            pm,
+            journal,
+            pool: Some(pool),
+            ops,
+            ops_completed: 0,
+            preinit_lines,
+        }
+    }
+
     /// Functional read + timed load.
     pub fn load_u64(&mut self, addr: u64) -> u64 {
         self.ops.push(MemOp::Load { addr });

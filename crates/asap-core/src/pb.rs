@@ -11,7 +11,8 @@
 //! state and answers "what could be flushed next".
 
 use asap_pm_mem::LineSnapshot;
-use asap_sim_core::{EpochId, LineAddr};
+use asap_sim_core::{mix64, EpochId, LineAddr};
+use std::cell::RefCell;
 use std::collections::VecDeque;
 
 /// Lifecycle of one persist-buffer entry.
@@ -66,6 +67,134 @@ pub struct PersistBuffer {
     /// Monotone count of entries fully flushed (acked) — the "tail index"
     /// the write-back buffer compares against (§V-F).
     flushed_count: u64,
+    /// How many entries sit in `Waiting` state, maintained across state
+    /// transitions: the blocked-PB accounting asks on almost every event,
+    /// and an O(1) answer also lets [`PersistBuffer::next_flushable`]
+    /// skip its scan outright when nothing waits (the all-in-flight
+    /// steady state).
+    waiting: usize,
+    /// How many entries sit NACKed, so the wake-retry scan that every
+    /// `TryFlush` runs is skipped in the (overwhelmingly common) case of
+    /// no pending retries.
+    nacked: usize,
+    /// Distinct lines present with their entry counts, maintained on
+    /// enqueue/ack: `holds_line` runs on every LLC-miss load and every
+    /// dirty private eviction, and scanning 12-byte pairs beats walking
+    /// the (much wider) entry deque.
+    present: Vec<(u64, u32)>,
+    /// Reusable scan state for [`PersistBuffer::next_flushable`] (in a
+    /// `RefCell` because the scan is logically read-only and its callers
+    /// hold `&self`). See [`ScanScratch`].
+    scratch: RefCell<ScanScratch>,
+}
+
+/// Scratch tables for the single-pass `next_flushable` scan.
+///
+/// The naive formulation ("does any *older* entry share my line, same
+/// epoch, or sit NACKed?") is a quadratic pairwise scan — and the scan
+/// runs on almost every event for the blocked-PB accounting, which made
+/// it one of the largest single costs in the ASAP/HOPS sweeps. Instead,
+/// one forward pass accumulates per-line and per-(line, epoch) facts
+/// about the entries already visited in two small open-addressed
+/// tables, so each entry's blocked test is O(1) probes.
+///
+/// Slots are generation-stamped: `begin` bumps `gen` instead of zeroing
+/// the tables, so an empty or near-empty buffer pays almost nothing.
+#[derive(Debug, Clone, Default)]
+struct ScanScratch {
+    gen: u64,
+    /// Per-line facts: slot → (generation, line key, `NACKED` flag bit).
+    line_gen: Vec<u64>,
+    line_key: Vec<u64>,
+    line_nacked: Vec<bool>,
+    /// Per-(line, epoch-ts) presence: slot → (generation, line key, ts).
+    pair_gen: Vec<u64>,
+    pair_key: Vec<(u64, u64)>,
+    mask: usize,
+}
+
+impl ScanScratch {
+    /// Start a scan over a buffer of `capacity` entries.
+    fn begin(&mut self, capacity: usize) {
+        let want = (capacity.max(4) * 2).next_power_of_two();
+        if self.line_gen.len() < want {
+            self.line_gen = vec![0; want];
+            self.line_key = vec![0; want];
+            self.line_nacked = vec![false; want];
+            self.pair_gen = vec![0; want];
+            self.pair_key = vec![(0, 0); want];
+            self.mask = want - 1;
+            self.gen = 0;
+        }
+        self.gen += 1;
+    }
+
+    /// Probe the line table for `key`; returns the slot holding it (live
+    /// this generation) or the empty slot where it would go.
+    #[inline]
+    fn line_slot(&self, key: u64) -> (usize, bool) {
+        let mut slot = (mix64(key) as usize) & self.mask;
+        loop {
+            if self.line_gen[slot] != self.gen {
+                return (slot, false);
+            }
+            if self.line_key[slot] == key {
+                return (slot, true);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    #[inline]
+    fn pair_slot(&self, key: (u64, u64)) -> (usize, bool) {
+        let mut slot = (mix64(key.0 ^ mix64(key.1)) as usize) & self.mask;
+        loop {
+            if self.pair_gen[slot] != self.gen {
+                return (slot, false);
+            }
+            if self.pair_key[slot] == key {
+                return (slot, true);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Record a visited entry as "older" state for subsequent entries.
+    #[inline]
+    fn insert(&mut self, line: u64, ts: u64, nacked: bool) {
+        let (slot, found) = self.line_slot(line);
+        if found {
+            self.line_nacked[slot] |= nacked;
+        } else {
+            self.line_gen[slot] = self.gen;
+            self.line_key[slot] = line;
+            self.line_nacked[slot] = nacked;
+        }
+        let (slot, found) = self.pair_slot((line, ts));
+        if !found {
+            self.pair_gen[slot] = self.gen;
+            self.pair_key[slot] = (line, ts);
+        }
+    }
+
+    /// Whether any visited entry uses `line`.
+    #[inline]
+    fn any_line(&self, line: u64) -> bool {
+        self.line_slot(line).1
+    }
+
+    /// Whether a visited entry on `line` sits NACKed.
+    #[inline]
+    fn nacked_line(&self, line: u64) -> bool {
+        let (slot, found) = self.line_slot(line);
+        found && self.line_nacked[slot]
+    }
+
+    /// Whether a visited entry matches (`line`, `ts`) exactly.
+    #[inline]
+    fn pair_seen(&self, line: u64, ts: u64) -> bool {
+        self.pair_slot((line, ts)).1
+    }
 }
 
 impl PersistBuffer {
@@ -77,6 +206,10 @@ impl PersistBuffer {
             next_id: 0,
             coalesced: 0,
             flushed_count: 0,
+            waiting: 0,
+            nacked: 0,
+            present: Vec::with_capacity(capacity),
+            scratch: RefCell::new(ScanScratch::default()),
         }
     }
 
@@ -125,16 +258,20 @@ impl PersistBuffer {
         seq: u64,
         epoch: EpochId,
     ) -> Result<Option<Box<LineSnapshot>>, Box<LineSnapshot>> {
-        if let Some(e) = self
-            .entries
-            .iter_mut()
-            .rev()
-            .find(|e| e.line == line && e.epoch == epoch && e.state == PbEntryState::Waiting)
-        {
-            let displaced = std::mem::replace(&mut e.data, data);
-            e.seq = seq;
-            self.coalesced += 1;
-            return Ok(Some(displaced));
+        // Coalescing candidates can only live in the same-epoch tail:
+        // the buffer is per-core and epochs close monotonically, so the
+        // newest-first scan stops at the first older-epoch entry instead
+        // of walking the whole buffer on every store.
+        for e in self.entries.iter_mut().rev() {
+            if e.epoch.ts != epoch.ts {
+                break;
+            }
+            if e.line == line && e.epoch == epoch && e.state == PbEntryState::Waiting {
+                let displaced = std::mem::replace(&mut e.data, data);
+                e.seq = seq;
+                self.coalesced += 1;
+                return Ok(Some(displaced));
+            }
         }
         if self.is_full() {
             return Err(data);
@@ -149,6 +286,12 @@ impl PersistBuffer {
             epoch,
             state: PbEntryState::Waiting,
         });
+        self.waiting += 1;
+        let key = line.index();
+        match self.present.iter_mut().find(|(l, _)| *l == key) {
+            Some((_, n)) => *n += 1,
+            None => self.present.push((key, 1)),
+        }
         Ok(None)
     }
 
@@ -171,16 +314,57 @@ impl PersistBuffer {
     where
         F: Fn(EpochId) -> bool,
     {
+        // Single forward pass: `scratch` accumulates facts about the
+        // entries already visited (exactly the "older" set of the naive
+        // pairwise formulation), so each candidate's blocked test costs
+        // O(1) probes instead of a rescan. Scratch population is *lazy*:
+        // it only catches up to the oldest `Waiting` candidate that
+        // actually needs a blocked test, so the common steady states —
+        // everything in flight, or the head entry flushable — touch the
+        // tables not at all. `eligible` is memoized per epoch run —
+        // entries arrive in epoch order, so one (ts, verdict) pair
+        // absorbs almost every call (HOPS's eligibility walks the epoch
+        // table; asking per entry was measurable).
+        if self.waiting == 0 {
+            return None;
+        }
+        let mut scratch = None;
+        let mut inserted = 0usize;
+        let mut memo: Option<(u64, bool)> = None;
         for (i, e) in self.entries.iter().enumerate() {
-            if e.state != PbEntryState::Waiting || !eligible(e.epoch) {
+            if e.state != PbEntryState::Waiting {
                 continue;
             }
-            let blocked = self.entries.iter().take(i).any(|older| {
-                older.line == e.line
-                    && (strict_lines
-                        || older.epoch == e.epoch
-                        || older.state == PbEntryState::Nacked)
+            let ok = match memo {
+                Some((ts, ok)) if ts == e.epoch.ts => ok,
+                _ => {
+                    let ok = eligible(e.epoch);
+                    memo = Some((e.epoch.ts, ok));
+                    ok
+                }
+            };
+            if !ok {
+                continue;
+            }
+            if i == 0 {
+                return Some(e);
+            }
+            let scratch = scratch.get_or_insert_with(|| {
+                let mut s = self.scratch.borrow_mut();
+                s.begin(self.capacity.max(self.entries.len()));
+                s
             });
+            while inserted < i {
+                let o = &self.entries[inserted];
+                scratch.insert(o.line.index(), o.epoch.ts, o.state == PbEntryState::Nacked);
+                inserted += 1;
+            }
+            let line = e.line.index();
+            let blocked = if strict_lines {
+                scratch.any_line(line)
+            } else {
+                scratch.nacked_line(line) || scratch.pair_seen(line, e.epoch.ts)
+            };
             if !blocked {
                 return Some(e);
             }
@@ -201,15 +385,16 @@ impl PersistBuffer {
     /// in flight): distinguishes *ordering-blocked* from merely
     /// *bandwidth-limited* buffers in the Figure 3 accounting.
     pub fn has_waiting(&self) -> bool {
-        self.entries
-            .iter()
-            .any(|e| e.state == PbEntryState::Waiting)
+        self.waiting > 0
     }
 
     /// Mark entry `id` as issued (in flight).
     pub fn mark_inflight(&mut self, id: u64) {
         if let Some(e) = self.entries.iter_mut().find(|e| e.id == id) {
             debug_assert_ne!(e.state, PbEntryState::Inflight);
+            if e.state == PbEntryState::Waiting {
+                self.waiting -= 1;
+            }
             e.state = PbEntryState::Inflight;
         }
     }
@@ -218,8 +403,19 @@ impl PersistBuffer {
     /// safe retry.
     pub fn mark_nacked(&mut self, id: u64) {
         if let Some(e) = self.entries.iter_mut().find(|e| e.id == id) {
+            if e.state == PbEntryState::Waiting {
+                self.waiting -= 1;
+            }
+            if e.state != PbEntryState::Nacked {
+                self.nacked += 1;
+            }
             e.state = PbEntryState::Nacked;
         }
+    }
+
+    /// Whether any entry sits NACKed awaiting a safe retry.
+    pub fn has_nacked(&self) -> bool {
+        self.nacked > 0
     }
 
     /// Requeue all NACKed entries of epochs accepted by `now_safe` back to
@@ -228,6 +424,9 @@ impl PersistBuffer {
     where
         F: Fn(EpochId) -> bool,
     {
+        if self.nacked == 0 {
+            return 0;
+        }
         let mut woken = 0;
         for e in self.entries.iter_mut() {
             if e.state == PbEntryState::Nacked && now_safe(e.epoch) {
@@ -235,6 +434,8 @@ impl PersistBuffer {
                 woken += 1;
             }
         }
+        self.waiting += woken;
+        self.nacked -= woken;
         woken
     }
 
@@ -243,7 +444,22 @@ impl PersistBuffer {
     pub fn ack(&mut self, id: u64) -> Option<PbEntry> {
         let pos = self.entries.iter().position(|e| e.id == id)?;
         self.flushed_count += 1;
-        self.entries.remove(pos)
+        let e = self.entries.remove(pos);
+        if let Some(e) = e.as_ref() {
+            match e.state {
+                PbEntryState::Waiting => self.waiting -= 1,
+                PbEntryState::Nacked => self.nacked -= 1,
+                PbEntryState::Inflight => {}
+            }
+            let key = e.line.index();
+            if let Some(i) = self.present.iter().position(|(l, _)| *l == key) {
+                self.present[i].1 -= 1;
+                if self.present[i].1 == 0 {
+                    self.present.swap_remove(i);
+                }
+            }
+        }
+        e
     }
 
     /// Look up an entry by id.
@@ -254,7 +470,8 @@ impl PersistBuffer {
     /// Whether the buffer holds data for `line` (load forwarding / LLC
     /// eviction checks).
     pub fn holds_line(&self, line: LineAddr) -> bool {
-        self.entries.iter().any(|e| e.line == line)
+        let key = line.index();
+        self.present.iter().any(|&(l, _)| l == key)
     }
 
     /// Iterate over entries oldest-first.

@@ -8,55 +8,107 @@ use super::engine::{Block, Engine, Event};
 use super::model::{PersistencyModel, StoreOp};
 use asap_memctrl::{FlushOutcome, FlushPacket};
 use asap_pm_mem::WriteSeq;
-use asap_sim_core::{Cycle, EpochId, LineAddr, ThreadId, TraceRecord};
-use std::collections::{HashMap, VecDeque};
+use asap_sim_core::{mix64, Cycle, EpochId, LineAddr, ThreadId, TraceRecord};
+use std::collections::VecDeque;
+
+/// Probe-table sentinel for an empty slot.
+const EMPTY: u32 = u32::MAX;
 
 /// A dirty-line set that remembers first-store order, so fences issue
 /// their `clwb`s in program order. A plain `HashMap` here made flush
 /// order (and therefore WPQ coalescing counts) vary run to run via
 /// `RandomState` iteration — the one determinism leak the structural
-/// sweep-equivalence tests caught.
-#[derive(Default)]
+/// sweep-equivalence tests caught. The index is the workspace's usual
+/// open-addressed table (this `insert` runs once per baseline store,
+/// and SipHash was visible in the sweep profile).
 struct DirtySet {
-    index: HashMap<LineAddr, usize>,
+    /// Probe table: each slot is `EMPTY` or an index into `lines`.
+    slots: Vec<u32>,
+    /// `slots.len() - 1` (capacity is a power of two).
+    mask: usize,
     lines: Vec<(LineAddr, u64)>,
+}
+
+impl Default for DirtySet {
+    fn default() -> DirtySet {
+        DirtySet {
+            slots: vec![EMPTY; 64],
+            mask: 63,
+            lines: Vec::new(),
+        }
+    }
 }
 
 impl DirtySet {
     /// Record a store: new lines append, re-dirtied lines keep their
     /// original flush position but track the latest write.
     fn insert(&mut self, line: LineAddr, seq: u64) {
-        match self.index.get(&line) {
-            Some(&i) => self.lines[i].1 = seq,
-            None => {
-                self.index.insert(line, self.lines.len());
+        let mut slot = (mix64(line.index()) as usize) & self.mask;
+        loop {
+            let s = self.slots[slot];
+            if s == EMPTY {
+                let idx = self.lines.len() as u32;
+                assert!(idx != EMPTY, "dirty set overflow");
                 self.lines.push((line, seq));
+                self.slots[slot] = idx;
+                if self.lines.len() * 2 > self.slots.len() {
+                    self.grow();
+                }
+                return;
             }
+            if self.lines[s as usize].0 == line {
+                self.lines[s as usize].1 = seq;
+                return;
+            }
+            slot = (slot + 1) & self.mask;
         }
     }
 
-    /// Empty the set, yielding the lines in first-store order.
-    fn drain(&mut self) -> VecDeque<(LineAddr, u64)> {
-        self.index.clear();
-        self.lines.drain(..).collect()
+    fn grow(&mut self) {
+        let cap = self.slots.len() * 2;
+        self.mask = cap - 1;
+        self.slots.clear();
+        self.slots.resize(cap, EMPTY);
+        for (i, &(line, _)) in self.lines.iter().enumerate() {
+            let mut slot = (mix64(line.index()) as usize) & self.mask;
+            while self.slots[slot] != EMPTY {
+                slot = (slot + 1) & self.mask;
+            }
+            self.slots[slot] = i as u32;
+        }
+    }
+
+    /// Empty the set into `out` (cleared first), yielding the lines in
+    /// first-store order. The caller owns (and recycles) the buffer, so
+    /// a fence on a warm core allocates nothing.
+    fn drain_into(&mut self, out: &mut VecDeque<(LineAddr, u64)>) {
+        self.slots.fill(EMPTY);
+        out.clear();
+        out.extend(self.lines.drain(..));
     }
 }
 
 pub(super) struct BaselineModel {
     /// Dirty lines of the current epoch → latest write (seq), per core.
     sync_dirty: Vec<DirtySet>,
+    /// Recycled fence work-queues: every `Block::SyncFence` borrows one
+    /// and returns it (empty, capacity kept) when the fence completes.
+    spare_pending: Vec<VecDeque<(LineAddr, u64)>>,
 }
 
 impl BaselineModel {
     pub(super) fn new(n: usize) -> BaselineModel {
         BaselineModel {
             sync_dirty: (0..n).map(|_| DirtySet::default()).collect(),
+            spare_pending: Vec::new(),
         }
     }
 
     fn start_sync_fence(&mut self, eng: &mut Engine, t: usize, is_dfence: bool) {
-        let dirty: VecDeque<(LineAddr, u64)> = self.sync_dirty[t].drain();
+        let mut dirty = self.spare_pending.pop().unwrap_or_default();
+        self.sync_dirty[t].drain_into(&mut dirty);
         if dirty.is_empty() {
+            self.spare_pending.push(dirty);
             finish_sync_epoch(eng, t);
             eng.finish_op(t, Cycle(1));
             return;
@@ -180,11 +232,16 @@ impl PersistencyModel for BaselineModel {
         };
         if done {
             let Some(Block::SyncFence {
-                since, is_dfence, ..
+                since,
+                is_dfence,
+                pending,
+                ..
             }) = eng.cores[tid].blocked.take()
             else {
                 unreachable!()
             };
+            debug_assert!(pending.is_empty());
+            self.spare_pending.push(pending);
             let stall = eng.now.saturating_sub(since).raw();
             if is_dfence {
                 eng.stats.dfence_stalled += stall;

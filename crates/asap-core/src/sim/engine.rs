@@ -11,8 +11,8 @@ use asap_cache_sim::{CoherenceHub, CountingBloom, WriteBackBuffer};
 use asap_memctrl::MemController;
 use asap_pm_mem::{NvmImage, PmSpace, SnapshotPool, WriteJournal};
 use asap_sim_core::{
-    Cycle, EpochId, EventQueue, Flavor, LineAddr, LineIdx, LineTable, McId, NullTracer, Sampler,
-    SimConfig, Stats, TextTracer, ThreadId, TraceRecord, Tracer,
+    Cycle, EpochId, EventQueue, Flavor, LineAddr, LineIdx, LineTable, McId, NullTracer, QueueKind,
+    Sampler, ShardedEventQueue, SimConfig, Stats, TextTracer, ThreadId, TraceRecord, Tracer,
 };
 use std::collections::VecDeque;
 
@@ -107,13 +107,63 @@ pub(super) enum Event {
     Sample,
 }
 
+/// The engine's event queue, behind the `--queue=sharded|heap` escape
+/// hatch. Both variants produce bit-identical dispatch order (the
+/// sharded queue shares one global sequence counter, so the
+/// min-of-shards merge reproduces the single heap's total order); the
+/// enum exists so a queue regression can be bisected without a rebuild.
+pub(super) enum SimQueue {
+    Heap(EventQueue<Event>),
+    Sharded(ShardedEventQueue<Event>),
+}
+
+impl SimQueue {
+    fn with_capacity(kind: QueueKind, num_shards: usize, cap: usize) -> SimQueue {
+        match kind {
+            QueueKind::Heap => SimQueue::Heap(EventQueue::with_capacity(cap)),
+            QueueKind::Sharded => {
+                SimQueue::Sharded(ShardedEventQueue::with_capacity(num_shards, cap))
+            }
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, shard: usize, at: Cycle, ev: Event) {
+        match self {
+            SimQueue::Heap(q) => q.push(at, ev),
+            SimQueue::Sharded(q) => q.push(shard, at, ev),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(Cycle, Event)> {
+        match self {
+            SimQueue::Heap(q) => q.pop(),
+            SimQueue::Sharded(q) => q.pop(),
+        }
+    }
+
+    #[inline]
+    fn peek_time(&self) -> Option<Cycle> {
+        match self {
+            SimQueue::Heap(q) => q.peek_time(),
+            SimQueue::Sharded(q) => q.peek_time(),
+        }
+    }
+}
+
 /// The shared machine: everything of Table II that exists regardless of
 /// the persistency design being simulated.
 pub(super) struct Engine {
     pub cfg: SimConfig,
     pub flavor: Flavor,
     pub now: Cycle,
-    pub queue: EventQueue<Event>,
+    pub queue: SimQueue,
+    /// Number of core-group shards in the sharded queue; MC shards
+    /// follow at `core_shards..core_shards + mc_shards`.
+    pub core_shards: usize,
+    /// Number of MC shards (memory controllers share them modulo this).
+    pub mc_shards: usize,
     pub cores: Vec<Core>,
     pub programs: Vec<Box<dyn ThreadProgram>>,
     pub hub: CoherenceHub,
@@ -140,6 +190,10 @@ pub(super) struct Engine {
     pub nack_filters: Vec<CountingBloom>,
     pub events_processed: u64,
     pub crashed: bool,
+    /// How many cores have finished (mirrors the per-core `done` flags):
+    /// the run loop asks "all done?" once per event, and comparing one
+    /// counter beats touching every core's (large) state block.
+    pub done_count: usize,
     /// Whether the tracer is live. Every emission site branches on this
     /// plain bool (`ASAP_TRACE` is sampled once at construction: reading
     /// the environment per event costs more than dispatch itself), so a
@@ -154,6 +208,18 @@ pub(super) struct Engine {
     /// [`PersistencyModel::uses_pb`] / `wants_background_flush`).
     pub uses_pb: bool,
     pub flush_engine: bool,
+    /// Recycled burst-generation buffers ([`BurstCtx::with_buffers`]):
+    /// the op stream and preinit-line list round-trip through every
+    /// burst instead of being allocated per burst. `mem::take`'d while
+    /// in use, so a re-entrant path just sees (and pays for) an empty
+    /// fresh buffer.
+    pub burst_ops_scratch: Vec<MemOp>,
+    pub preinit_scratch: Vec<LineAddr>,
+    /// Recycled commit-protocol buffers: the early-MC set drained by
+    /// `EpochTable::begin_commit_into` and the dependent list drained by
+    /// `finish_commit_into`.
+    pub commit_mcs_scratch: Vec<McId>,
+    pub commit_deps_scratch: Vec<ThreadId>,
 }
 
 impl Engine {
@@ -164,6 +230,7 @@ impl Engine {
         journal: bool,
         uses_pb: bool,
         flush_engine: bool,
+        queue_kind: QueueKind,
     ) -> Engine {
         let n = cfg.num_cores;
         let mut cores = Vec::with_capacity(n);
@@ -201,9 +268,17 @@ impl Engine {
         // each MC a handful of commit/reply messages. Sweeps run many
         // thousands of sims; never re-growing the heap is measurable.
         let cap = n * (cfg.pb_entries + 16) + cfg.num_mcs * 16;
-        let mut queue = EventQueue::with_capacity(cap);
+        // Core events share a couple of shards (grouped by thread id)
+        // and the MCs share a couple more. The event population per sim
+        // is small (a few hundred), so per-shard heaps are shallow at
+        // any width — what the merge front pays for every pop is one
+        // compare per shard head, which makes a *narrow* front the win.
+        let core_shards = n.min(2);
+        let mc_shards = cfg.num_mcs.min(2);
+        debug_assert!(core_shards.is_power_of_two() && mc_shards.is_power_of_two());
+        let mut queue = SimQueue::with_capacity(queue_kind, core_shards + mc_shards, cap);
         for i in 0..n {
-            queue.push(Cycle::ZERO, Event::CoreStep(i));
+            queue.push(i % core_shards, Cycle::ZERO, Event::CoreStep(i));
         }
         let nack_filters = (0..cfg.num_mcs)
             .map(|_| CountingBloom::new(1024, 3))
@@ -213,6 +288,8 @@ impl Engine {
             flavor,
             now: Cycle::ZERO,
             queue,
+            core_shards,
+            mc_shards,
             cores,
             programs,
             hub,
@@ -232,6 +309,7 @@ impl Engine {
             nack_filters,
             events_processed: 0,
             crashed: false,
+            done_count: 0,
             // `ASAP_TRACE=0` / `""` / `off` must stay silent; only truthy
             // values enable the default text sink.
             trace_on: asap_sim_core::env_trace_enabled(),
@@ -239,6 +317,10 @@ impl Engine {
             sampler: None,
             uses_pb,
             flush_engine,
+            burst_ops_scratch: Vec::new(),
+            preinit_scratch: Vec::new(),
+            commit_mcs_scratch: Vec::new(),
+            commit_deps_scratch: Vec::new(),
         };
         if eng.trace_on {
             eng.tracer = Box::new(TextTracer::stderr());
@@ -253,23 +335,28 @@ impl Engine {
     // Run loop
     // ---------------------------------------------------------------
 
-    pub(super) fn run_until(&mut self, m: &mut dyn PersistencyModel, limit: Option<Cycle>) {
+    pub(super) fn run_until<M: PersistencyModel + ?Sized>(
+        &mut self,
+        m: &mut M,
+        limit: Option<Cycle>,
+    ) {
         const EVENT_BUDGET: u64 = 2_000_000_000;
         while !self.all_done() {
-            let Some(next_time) = self.queue.peek_time() else {
-                panic!(
-                    "deadlock at {}: no events pending but threads unfinished: {}",
-                    self.now,
-                    self.dump_state(m)
-                );
-            };
+            // Unbounded runs (the common case) pop directly: one merge
+            // scan per event instead of a peek followed by a pop.
             if let Some(l) = limit {
-                if next_time > l {
-                    self.now = l;
-                    break;
+                match self.queue.peek_time() {
+                    Some(next_time) if next_time > l => {
+                        self.now = l;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => self.deadlock(m),
                 }
             }
-            let (t, ev) = self.queue.pop().expect("peeked");
+            let Some((t, ev)) = self.queue.pop() else {
+                self.deadlock(m)
+            };
             self.now = t;
             self.events_processed += 1;
             assert!(
@@ -285,7 +372,7 @@ impl Engine {
         self.finish_accounting();
     }
 
-    fn dispatch(&mut self, m: &mut dyn PersistencyModel, ev: Event) {
+    fn dispatch<M: PersistencyModel + ?Sized>(&mut self, m: &mut M, ev: Event) {
         match ev {
             Event::CoreStep(t) => self.core_step(m, t),
             Event::TryFlush(t) => self.try_flush(m, t),
@@ -353,12 +440,16 @@ impl Engine {
         s.row(now, pb, et, rt, wpq, &writes);
         if !all_done {
             let next = now + s.every();
-            self.queue.push(next, Event::Sample);
+            self.schedule(next, Event::Sample);
         }
     }
 
     pub(super) fn all_done(&self) -> bool {
-        self.cores.iter().all(|c| c.done)
+        debug_assert_eq!(
+            self.done_count,
+            self.cores.iter().filter(|c| c.done).count()
+        );
+        self.done_count == self.cores.len()
     }
 
     pub(super) fn finish_accounting(&mut self) {
@@ -389,8 +480,18 @@ impl Engine {
         self.stats.wpq_coalesced = wpq_coalesced;
     }
 
+    /// Abort on an empty event queue with unfinished threads.
+    #[cold]
+    fn deadlock<M: PersistencyModel + ?Sized>(&self, m: &M) -> ! {
+        panic!(
+            "deadlock at {}: no events pending but threads unfinished: {}",
+            self.now,
+            self.dump_state(m)
+        );
+    }
+
     /// Diagnostic snapshot of every unfinished core (deadlock reports).
-    pub(super) fn dump_state(&self, m: &dyn PersistencyModel) -> String {
+    pub(super) fn dump_state<M: PersistencyModel + ?Sized>(&self, m: &M) -> String {
         self.cores
             .iter()
             .filter(|c| !c.done)
@@ -423,8 +524,32 @@ impl Engine {
     // Scheduling helpers
     // ---------------------------------------------------------------
 
+    /// Deterministic shard routing: MC-addressed messages land on that
+    /// MC's shard, core-addressed events on the core's group shard.
+    /// Routing affects locality only — the global sequence counter keeps
+    /// pop order identical under any routing (and under the heap queue).
+    #[inline]
+    fn shard_of(&self, ev: &Event) -> usize {
+        match *ev {
+            Event::CoreStep(t)
+            | Event::TryFlush(t)
+            | Event::FlushReply { tid: t, .. }
+            | Event::SyncFlushReply { tid: t }
+            | Event::CdrArrive { tid: t, .. }
+            // Both shard counts are 1 or 2 (powers of two), so routing
+            // is a mask, not a division — this runs once per push.
+            | Event::HopsPoll { tid: t } => t & (self.core_shards - 1),
+            Event::CommitAckArrive { epoch } => epoch.thread.0 & (self.core_shards - 1),
+            Event::FlushArrive { mc, .. }
+            | Event::SyncFlushArrive { mc, .. }
+            | Event::CommitArrive { mc, .. } => self.core_shards + (mc & (self.mc_shards - 1)),
+            Event::Sample => 0,
+        }
+    }
+
     pub(super) fn schedule(&mut self, at: Cycle, ev: Event) {
-        self.queue.push(at.max(self.now), ev);
+        let shard = self.shard_of(&ev);
+        self.queue.push(shard, at.max(self.now), ev);
     }
 
     pub(super) fn schedule_step(&mut self, t: usize, at: Cycle) {
@@ -506,7 +631,7 @@ impl Engine {
         self.cores[t].pb_occ_last = self.now;
     }
 
-    pub(super) fn update_pb_blocked(&mut self, m: &dyn PersistencyModel, t: usize) {
+    pub(super) fn update_pb_blocked<M: PersistencyModel + ?Sized>(&mut self, m: &M, t: usize) {
         if !self.uses_pb {
             return;
         }

@@ -17,7 +17,7 @@ impl Engine {
     // Core execution
     // ---------------------------------------------------------------
 
-    pub(super) fn core_step(&mut self, m: &mut dyn PersistencyModel, t: usize) {
+    pub(super) fn core_step<M: PersistencyModel + ?Sized>(&mut self, m: &mut M, t: usize) {
         self.cores[t].step_scheduled = false;
         if self.cores[t].done || self.cores[t].blocked.is_some() {
             return;
@@ -45,21 +45,32 @@ impl Engine {
                 return true;
             }
             self.cores[t].done = true;
+            self.done_count += 1;
             return false;
         }
-        let mut ctx = BurstCtx::with_pool(&mut self.pm, &mut self.journal, &mut self.snap_pool);
+        let mut ctx = BurstCtx::with_buffers(
+            &mut self.pm,
+            &mut self.journal,
+            &mut self.snap_pool,
+            std::mem::take(&mut self.burst_ops_scratch),
+            std::mem::take(&mut self.preinit_scratch),
+        );
         let status = self.programs[t].next_burst(ThreadId(t), &mut ctx);
-        let (ops, completed, preinit) = ctx.into_parts();
-        for line in preinit {
+        let (mut ops, completed, preinit) = ctx.into_parts();
+        for &line in &preinit {
             // Setup state is part of the initial pool image: durable by
             // construction, like a formatted pmem pool before the run.
             self.nvm.preinit(line, self.pm.snapshot_line(line));
         }
+        self.preinit_scratch = preinit;
         self.cores[t].ops_completed += completed;
         if status == BurstStatus::Finished {
             self.cores[t].program_finished = true;
         }
-        if ops.is_empty() {
+        let refilled = !ops.is_empty();
+        self.cores[t].burst.extend(ops.drain(..));
+        self.burst_ops_scratch = ops;
+        if !refilled {
             if self.cores[t].program_finished {
                 return self.refill_burst(t); // go to retirement
             }
@@ -69,11 +80,10 @@ impl Engine {
             self.schedule_step(t, self.cores[t].core_free_at);
             return false;
         }
-        self.cores[t].burst.extend(ops);
         true
     }
 
-    fn execute_op(&mut self, m: &mut dyn PersistencyModel, t: usize, op: MemOp) {
+    fn execute_op<M: PersistencyModel + ?Sized>(&mut self, m: &mut M, t: usize, op: MemOp) {
         match op {
             MemOp::Compute { cycles } => {
                 self.finish_op(t, Cycle(cycles * self.cfg.compute_scale));
@@ -117,9 +127,9 @@ impl Engine {
         }
     }
 
-    fn do_load(
+    fn do_load<M: PersistencyModel + ?Sized>(
         &mut self,
-        m: &mut dyn PersistencyModel,
+        m: &mut M,
         t: usize,
         addr: u64,
         acquire: bool,
@@ -166,9 +176,9 @@ impl Engine {
         }
     }
 
-    fn do_store(
+    fn do_store<M: PersistencyModel + ?Sized>(
         &mut self,
-        m: &mut dyn PersistencyModel,
+        m: &mut M,
         t: usize,
         addr: u64,
         seq: WriteSeq,
@@ -190,8 +200,8 @@ impl Engine {
         // writes for this line (they wrote it in M before a reader
         // downgraded it to S): their invalidation acks establish the
         // dependency that keeps strong persist atomicity intact.
-        for s in &out.invalidated {
-            self.handle_ep_conflict(m, t, *s);
+        for s in out.invalidated.iter() {
+            self.handle_ep_conflict(m, t, s);
         }
         // Epoch known only now (conflict handling may have split it).
         let epoch = self.cores[t].cur_epoch();
@@ -274,7 +284,7 @@ impl Engine {
 
     /// `ofence` for persist-buffer designs: split the epoch, stalling on
     /// a full epoch table.
-    pub(super) fn pb_ofence(&mut self, m: &mut dyn PersistencyModel, t: usize) {
+    pub(super) fn pb_ofence<M: PersistencyModel + ?Sized>(&mut self, m: &mut M, t: usize) {
         if self.cores[t].et.is_full() {
             self.cores[t].blocked = Some(Block::EtFull {
                 since: self.now,
@@ -292,7 +302,7 @@ impl Engine {
 
     /// `dfence` for persist-buffer designs: close the epoch and wait for
     /// every epoch to commit.
-    pub(super) fn pb_dfence(&mut self, m: &mut dyn PersistencyModel, t: usize) {
+    pub(super) fn pb_dfence<M: PersistencyModel + ?Sized>(&mut self, m: &mut M, t: usize) {
         let ts = self.cores[t].cur_ts;
         self.cores[t].et.close(ts);
         self.try_commit(m, t);
@@ -323,7 +333,7 @@ impl Engine {
 
     /// Close the current epoch and open the next (ofence semantics).
     /// Caller must have checked `!et.is_full()`.
-    pub(super) fn split_epoch(&mut self, m: &mut dyn PersistencyModel, t: usize) {
+    pub(super) fn split_epoch<M: PersistencyModel + ?Sized>(&mut self, m: &mut M, t: usize) {
         let ts = self.cores[t].cur_ts;
         self.cores[t].et.close(ts);
         self.open_next_epoch(t);
@@ -346,7 +356,12 @@ impl Engine {
 
     /// Epoch persistency: any access supplied by a remote dirty line
     /// creates a dependency (paper §IV-E).
-    fn handle_ep_conflict(&mut self, m: &mut dyn PersistencyModel, t: usize, src_tid: ThreadId) {
+    fn handle_ep_conflict<M: PersistencyModel + ?Sized>(
+        &mut self,
+        m: &mut M,
+        t: usize,
+        src_tid: ThreadId,
+    ) {
         if self.flavor != Flavor::Epoch || !self.uses_pb || src_tid.0 == t {
             return;
         }
@@ -356,7 +371,12 @@ impl Engine {
 
     /// Release persistency: an acquire synchronizing with a remote
     /// release creates the dependency.
-    fn handle_acquire(&mut self, m: &mut dyn PersistencyModel, t: usize, line: LineAddr) {
+    fn handle_acquire<M: PersistencyModel + ?Sized>(
+        &mut self,
+        m: &mut M,
+        t: usize,
+        line: LineAddr,
+    ) {
         if !self.uses_pb {
             return;
         }
@@ -379,7 +399,12 @@ impl Engine {
 
     /// Release persistency: record the releasing epoch and end it
     /// (one-sided barrier).
-    fn handle_release(&mut self, m: &mut dyn PersistencyModel, t: usize, line: LineAddr) {
+    fn handle_release<M: PersistencyModel + ?Sized>(
+        &mut self,
+        m: &mut M,
+        t: usize,
+        line: LineAddr,
+    ) {
         if !self.uses_pb {
             return;
         }
@@ -392,7 +417,12 @@ impl Engine {
     /// Create a dependency on the *current* epoch of `src`'s thread,
     /// closing it (the coherence reply starts a new epoch at the source,
     /// §IV-E).
-    fn create_cross_dep(&mut self, m: &mut dyn PersistencyModel, t: usize, src_epoch: EpochId) {
+    fn create_cross_dep<M: PersistencyModel + ?Sized>(
+        &mut self,
+        m: &mut M,
+        t: usize,
+        src_epoch: EpochId,
+    ) {
         let s = src_epoch.thread.0;
         // Register the dependency *before* closing the source epoch: an
         // empty source epoch can commit inline during the split, and the
@@ -404,7 +434,12 @@ impl Engine {
     }
 
     /// Attach a dependency from `t`'s (new) epoch to `src_epoch`.
-    fn create_cross_dep_on(&mut self, m: &mut dyn PersistencyModel, t: usize, src_epoch: EpochId) {
+    fn create_cross_dep_on<M: PersistencyModel + ?Sized>(
+        &mut self,
+        m: &mut M,
+        t: usize,
+        src_epoch: EpochId,
+    ) {
         debug_assert_ne!(src_epoch.thread.0, t);
         // Requester starts a new epoch that carries the dependency —
         // unless the current epoch is still pristine (no writes yet), in
@@ -433,14 +468,18 @@ impl Engine {
     // PB flushing
     // ---------------------------------------------------------------
 
-    pub(super) fn try_flush(&mut self, m: &mut dyn PersistencyModel, t: usize) {
+    pub(super) fn try_flush<M: PersistencyModel + ?Sized>(&mut self, m: &mut M, t: usize) {
         if !self.flush_engine {
             return;
         }
         // Retry NACKed entries whose epoch has since become safe (the
-        // transition can happen via commit *or* CDR resolution).
-        let safe_ts = self.cores[t].et.oldest_safe_ts();
-        self.cores[t].pb.wake_nacked(|e| Some(e.ts) == safe_ts);
+        // transition can happen via commit *or* CDR resolution). Gated
+        // on the NACK count: the epoch-table walk is wasted work on the
+        // vast majority of TryFlush events.
+        if self.cores[t].pb.has_nacked() {
+            let safe_ts = self.cores[t].et.oldest_safe_ts();
+            self.cores[t].pb.wake_nacked(|e| Some(e.ts) == safe_ts);
+        }
         while self.cores[t].inflight < self.cfg.pb_max_inflight {
             let candidate = {
                 let core = &self.cores[t];
@@ -479,9 +518,9 @@ impl Engine {
         self.update_pb_blocked(m, t);
     }
 
-    pub(super) fn flush_arrive(
+    pub(super) fn flush_arrive<M: PersistencyModel + ?Sized>(
         &mut self,
-        m: &mut dyn PersistencyModel,
+        m: &mut M,
         tid: usize,
         entry_id: u64,
         mc: usize,
@@ -559,7 +598,12 @@ impl Engine {
     /// Successful-flush bookkeeping shared by the tracked-PB designs:
     /// retire the entry, credit the epoch table, clear the NACK filter,
     /// drain parked evictions and re-attempt commits.
-    pub(super) fn ack_pb_flush(&mut self, m: &mut dyn PersistencyModel, tid: usize, entry_id: u64) {
+    pub(super) fn ack_pb_flush<M: PersistencyModel + ?Sized>(
+        &mut self,
+        m: &mut M,
+        tid: usize,
+        entry_id: u64,
+    ) {
         let occ_before = self.cores[tid].pb.len();
         if let Some(entry) = self.cores[tid].pb.ack(entry_id) {
             self.cores[tid].et.ack_write(entry.epoch.ts);
@@ -594,15 +638,15 @@ impl Engine {
     // Epoch commit
     // ---------------------------------------------------------------
 
-    pub(super) fn try_commit(&mut self, m: &mut dyn PersistencyModel, t: usize) {
+    pub(super) fn try_commit<M: PersistencyModel + ?Sized>(&mut self, m: &mut M, t: usize) {
         if !self.uses_pb {
             return;
         }
-        loop {
-            let Some(ts) = self.cores[t].et.commit_candidate() else {
-                return;
-            };
-            let mcs = self.cores[t].et.begin_commit(ts);
+        // Scratch round-trip: a hook that re-enters this flow just takes
+        // a fresh empty vector (`mem::take`), so recursion stays sound.
+        let mut mcs = std::mem::take(&mut self.commit_mcs_scratch);
+        while let Some(ts) = self.cores[t].et.commit_candidate() {
+            self.cores[t].et.begin_commit_into(ts, &mut mcs);
             if mcs.is_empty() || !m.commit_needs_mc_roundtrip() {
                 // Without recovery tables to clean, commit locally.
                 self.finalize_commit(m, t, ts);
@@ -615,7 +659,7 @@ impl Engine {
                 ts,
                 mcs: mcs.len(),
             });
-            for mc in mcs {
+            for &mc in &mcs {
                 // Commit messages are small control packets (address-free
                 // epoch tags), cheaper than 64-byte flush packets; §V-C's
                 // serialized commit chain would otherwise throttle
@@ -623,17 +667,25 @@ impl Engine {
                 let at = self.now + self.cfg.intercore_latency;
                 self.schedule(at, Event::CommitArrive { mc: mc.0, epoch });
             }
-            return; // wait for acks; commits are in order
+            break; // wait for acks; commits are in order
         }
+        self.commit_mcs_scratch = mcs;
     }
 
-    pub(super) fn finalize_commit(&mut self, m: &mut dyn PersistencyModel, t: usize, ts: u64) {
-        let dependents = self.cores[t].et.finish_commit(ts);
+    pub(super) fn finalize_commit<M: PersistencyModel + ?Sized>(
+        &mut self,
+        m: &mut M,
+        t: usize,
+        ts: u64,
+    ) {
+        let mut dependents = std::mem::take(&mut self.commit_deps_scratch);
+        self.cores[t].et.finish_commit_into(ts, &mut dependents);
         let epoch = EpochId::new(ThreadId(t), ts);
         self.deps.mark_committed(epoch);
         self.stats.epochs_committed += 1;
         self.trace(TraceRecord::EpochCommit { tid: t, ts });
         m.on_commit(self, t, ts, &dependents);
+        self.commit_deps_scratch = dependents;
         self.wake_safe_nacked(t);
 
         // dfence release.
@@ -677,7 +729,11 @@ impl Engine {
         self.schedule(at, Event::CommitAckArrive { epoch });
     }
 
-    pub(super) fn commit_ack_arrive(&mut self, m: &mut dyn PersistencyModel, epoch: EpochId) {
+    pub(super) fn commit_ack_arrive<M: PersistencyModel + ?Sized>(
+        &mut self,
+        m: &mut M,
+        epoch: EpochId,
+    ) {
         let t = epoch.thread.0;
         if self.cores[t].et.commit_ack(epoch.ts) {
             self.finalize_commit(m, t, epoch.ts);
@@ -685,7 +741,12 @@ impl Engine {
         }
     }
 
-    pub(super) fn cdr_arrive(&mut self, m: &mut dyn PersistencyModel, tid: usize, src: EpochId) {
+    pub(super) fn cdr_arrive<M: PersistencyModel + ?Sized>(
+        &mut self,
+        m: &mut M,
+        tid: usize,
+        src: EpochId,
+    ) {
         if self.cores[tid].et.resolve_dep(src) {
             self.trace(TraceRecord::Cdr {
                 tid,

@@ -45,8 +45,9 @@ impl StoreOp {
 ///
 /// Hooks take `(&mut self, eng: &mut Engine, ..)`: model state and
 /// engine state are disjoint, so a hook can re-enter engine flows that
-/// themselves take the model as `&mut dyn PersistencyModel` (e.g.
-/// `eng.split_epoch(self, t)`).
+/// themselves are generic over `M: PersistencyModel + ?Sized` (e.g.
+/// `eng.split_epoch(self, t)`) — statically dispatched when called with
+/// a concrete model, still object-safe for the `dyn` registry.
 pub(super) trait PersistencyModel {
     /// Does this design route stores through a tracked persist buffer
     /// with epoch-table accounting (HOPS, ASAP)?
@@ -152,6 +153,7 @@ pub(super) trait PersistencyModel {
 /// The model registry: construction-time dispatch from [`ModelKind`] to
 /// an implementation, with per-thread state sized for `n` cores. This is
 /// the only place a `ModelKind` is mapped to protocol behaviour.
+#[allow(dead_code)] // construction-time/public seam; the hot path uses ModelDispatch
 pub(super) fn build_model(kind: ModelKind, n: usize) -> Box<dyn PersistencyModel> {
     match kind {
         ModelKind::Baseline => Box::new(super::baseline::BaselineModel::new(n)),
@@ -159,5 +161,158 @@ pub(super) fn build_model(kind: ModelKind, n: usize) -> Box<dyn PersistencyModel
         ModelKind::Asap => Box::new(super::asap::AsapModel::new(n)),
         ModelKind::Eadr => Box::new(super::eadr_bbb::EadrModel),
         ModelKind::Bbb => Box::new(super::eadr_bbb::BbbModel),
+    }
+}
+
+/// Closed-world dispatch over the five concrete persistency models.
+///
+/// The engine's inner loop is generic over `M: PersistencyModel`, and
+/// [`Sim`](super::Sim) instantiates it with this enum: every protocol
+/// hook is a five-way jump table the optimizer can see through (and
+/// inline), instead of an opaque vtable call per store/fence/flush.
+/// [`build_model`] remains the open, construction-time registry for
+/// callers that want a boxed trait object; both routes go through the
+/// same hook implementations, so behaviour is identical by construction
+/// (pinned by the `dispatch_parity_*` tests in `super::tests`).
+pub(super) enum ModelDispatch {
+    /// Synchronous write-back baseline (`clwb + sfence` persist path).
+    Baseline(super::baseline::BaselineModel),
+    /// HOPS: tracked persist buffers with a global timestamp protocol.
+    Hops(super::hops::HopsModel),
+    /// ASAP: speculative early flushes guarded by a recovery table.
+    Asap(super::asap::AsapModel),
+    /// eADR: the whole cache hierarchy is battery-backed.
+    Eadr(super::eadr_bbb::EadrModel),
+    /// BBB: battery-backed persist buffers, no tracking.
+    Bbb(super::eadr_bbb::BbbModel),
+}
+
+impl ModelDispatch {
+    /// Enum counterpart of [`build_model`].
+    pub(super) fn new(kind: ModelKind, n: usize) -> ModelDispatch {
+        match kind {
+            ModelKind::Baseline => ModelDispatch::Baseline(super::baseline::BaselineModel::new(n)),
+            ModelKind::Hops => ModelDispatch::Hops(super::hops::HopsModel::new(n)),
+            ModelKind::Asap => ModelDispatch::Asap(super::asap::AsapModel::new(n)),
+            ModelKind::Eadr => ModelDispatch::Eadr(super::eadr_bbb::EadrModel),
+            ModelKind::Bbb => ModelDispatch::Bbb(super::eadr_bbb::BbbModel),
+        }
+    }
+}
+
+/// Expand `$body` once per variant with `$m` bound to the inner model.
+macro_rules! each_model {
+    ($self:ident, $m:ident => $body:expr) => {
+        match $self {
+            ModelDispatch::Baseline($m) => $body,
+            ModelDispatch::Hops($m) => $body,
+            ModelDispatch::Asap($m) => $body,
+            ModelDispatch::Eadr($m) => $body,
+            ModelDispatch::Bbb($m) => $body,
+        }
+    };
+}
+
+impl PersistencyModel for ModelDispatch {
+    #[inline]
+    fn uses_pb(&self) -> bool {
+        each_model!(self, m => m.uses_pb())
+    }
+
+    #[inline]
+    fn wants_background_flush(&self) -> bool {
+        each_model!(self, m => m.wants_background_flush())
+    }
+
+    #[inline]
+    fn on_store(&mut self, eng: &mut Engine, t: usize, op: StoreOp) -> bool {
+        each_model!(self, m => m.on_store(eng, t, op))
+    }
+
+    #[inline]
+    fn on_ofence(&mut self, eng: &mut Engine, t: usize) {
+        each_model!(self, m => m.on_ofence(eng, t))
+    }
+
+    #[inline]
+    fn on_dfence(&mut self, eng: &mut Engine, t: usize) {
+        each_model!(self, m => m.on_dfence(eng, t))
+    }
+
+    #[inline]
+    fn relaxed_lines(&self, t: usize) -> bool {
+        each_model!(self, m => m.relaxed_lines(t))
+    }
+
+    #[inline]
+    fn epoch_eligible(&self, eng: &Engine, t: usize, e: EpochId) -> bool {
+        each_model!(self, m => m.epoch_eligible(eng, t, e))
+    }
+
+    #[inline]
+    fn flushes_early(&self, eng: &Engine, t: usize, ts: u64) -> bool {
+        each_model!(self, m => m.flushes_early(eng, t, ts))
+    }
+
+    #[inline]
+    fn on_flush_reply(&mut self, eng: &mut Engine, tid: usize, entry_id: u64, ok: bool) {
+        each_model!(self, m => m.on_flush_reply(eng, tid, entry_id, ok))
+    }
+
+    #[inline]
+    fn commit_needs_mc_roundtrip(&self) -> bool {
+        each_model!(self, m => m.commit_needs_mc_roundtrip())
+    }
+
+    #[inline]
+    fn on_commit(&mut self, eng: &mut Engine, t: usize, ts: u64, dependents: &[ThreadId]) {
+        each_model!(self, m => m.on_commit(eng, t, ts, dependents))
+    }
+
+    #[inline]
+    fn on_commit_settled(&mut self, eng: &mut Engine, t: usize) {
+        each_model!(self, m => m.on_commit_settled(eng, t))
+    }
+
+    #[inline]
+    fn on_cross_dep(&mut self, eng: &mut Engine, t: usize) {
+        each_model!(self, m => m.on_cross_dep(eng, t))
+    }
+
+    #[inline]
+    fn on_cdr(&mut self, eng: &mut Engine, tid: usize) {
+        each_model!(self, m => m.on_cdr(eng, tid))
+    }
+
+    #[inline]
+    fn on_poll(&mut self, eng: &mut Engine, tid: usize) {
+        each_model!(self, m => m.on_poll(eng, tid))
+    }
+
+    #[inline]
+    fn on_sync_flush_arrive(
+        &mut self,
+        eng: &mut Engine,
+        tid: usize,
+        line: LineAddr,
+        seq: u64,
+        mc: usize,
+    ) {
+        each_model!(self, m => m.on_sync_flush_arrive(eng, tid, line, seq, mc))
+    }
+
+    #[inline]
+    fn on_sync_flush_reply(&mut self, eng: &mut Engine, tid: usize) {
+        each_model!(self, m => m.on_sync_flush_reply(eng, tid))
+    }
+
+    #[inline]
+    fn on_crash(&mut self, eng: &mut Engine) -> bool {
+        each_model!(self, m => m.on_crash(eng))
+    }
+
+    #[inline]
+    fn debug_conservative(&self, t: usize) -> bool {
+        each_model!(self, m => m.debug_conservative(t))
     }
 }

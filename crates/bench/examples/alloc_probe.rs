@@ -1,0 +1,62 @@
+//! Where do the sweep's allocations go? Builds and runs one sim per
+//! persistency model at quick scale and prints allocation counts for
+//! the build and run phases separately. Requires `--features
+//! alloc-count`; without it every number is zero.
+//!
+//! ```text
+//! cargo run --release -p asap-bench --features alloc-count --example alloc_probe
+//! ```
+
+use asap_core::{Flavor, ModelKind, SimBuilder};
+use asap_sim_core::SimConfig;
+use asap_workloads::{make_workload, WorkloadKind, WorkloadParams};
+
+fn counters() -> (u64, u64) {
+    #[cfg(feature = "alloc-count")]
+    {
+        asap_bench::alloc_count::counters()
+    }
+    #[cfg(not(feature = "alloc-count"))]
+    {
+        (0, 0)
+    }
+}
+
+fn main() {
+    let params = WorkloadParams {
+        threads: 4,
+        ops_per_thread: 60,
+        seed: 42,
+        ..WorkloadParams::default()
+    };
+    for kind in [
+        ModelKind::Baseline,
+        ModelKind::Hops,
+        ModelKind::Asap,
+        ModelKind::Eadr,
+        ModelKind::Bbb,
+    ] {
+        for wl in [
+            WorkloadKind::Queue,
+            WorkloadKind::Cceh,
+            WorkloadKind::FastFair,
+        ] {
+            let a0 = counters();
+            let programs = make_workload(wl, &params);
+            let a1 = counters();
+            let mut sim = SimBuilder::new(SimConfig::paper(), kind, Flavor::Release)
+                .programs(programs)
+                .build();
+            let a2 = counters();
+            sim.run_to_completion();
+            let a3 = counters();
+            println!(
+                "{kind:>8} {wl:>12}: gen {:>6}  build {:>6}  run {:>6}  (bytes run {})",
+                a1.0 - a0.0,
+                a2.0 - a1.0,
+                a3.0 - a2.0,
+                a3.1 - a2.1,
+            );
+        }
+    }
+}

@@ -18,13 +18,16 @@
 //!   phase from the counting global allocator.
 //!
 //! ```text
-//! sweep_bench [--quick] [--threads N] [--out PATH]
+//! sweep_bench [--quick] [--threads N] [--out PATH] [--queue sharded|heap]
 //! ```
 //!
 //! `--quick` uses the tests' quick scale (CI exercises the parallel
 //! path on every push without paying paper-scale minutes); the default
 //! is paper scale. `--threads N` pins the worker count; `--progress`
 //! prints an `N/M jobs, ETA …` line as the parallel leg proceeds.
+//! `--queue` (or `ASAP_QUEUE`; the flag wins) selects the event-queue
+//! implementation for every simulation in the sweep — dispatch order is
+//! identical either way, so this only moves wall clock.
 
 use asap_core::{Flavor, ModelKind, SimBuilder};
 use asap_harness::args::{arg_value as arg, has_flag, parse_arg};
@@ -95,6 +98,14 @@ fn main() {
     if let Some(n) = parse_arg(&args, "--threads") {
         pool::set_worker_override(n);
     }
+    // `--queue` beats `ASAP_QUEUE`; both parse strictly. The queue kind
+    // is recorded in the JSON so archived numbers are attributable.
+    if let Some(kind) = parse_arg::<asap_core::QueueKind>(&args, "--queue")
+        .or_else(|| asap_harness::args::parse_env("ASAP_QUEUE"))
+    {
+        asap_core::set_default_queue_kind(kind);
+    }
+    let queue_kind = asap_core::default_queue_kind();
     if has_flag(&args, "--progress") {
         pool::set_progress(true);
     }
@@ -186,6 +197,7 @@ fn main() {
             "{{\n",
             "  \"bench\": \"fig08_sweep\",\n",
             "  \"scale\": \"{scale_name}\",\n",
+            "  \"queue\": \"{queue_kind}\",\n",
             "  \"sims\": {sims},\n",
             "  \"workers\": {workers},\n",
             "  \"workload_gen_ms\": {gen:.3},\n",
@@ -202,6 +214,7 @@ fn main() {
             "}}\n"
         ),
         scale_name = scale_name,
+        queue_kind = queue_kind,
         sims = specs.len(),
         workers = workers,
         gen = t_gen.as_secs_f64() * 1e3,

@@ -25,13 +25,85 @@
 use crate::setassoc::SetAssoc;
 use asap_sim_core::{Cycle, LineAddr, LineIdx, LineTable, SimConfig, ThreadId};
 
+/// Order-preserving thread set with inline storage.
+///
+/// Sharer and invalidation lists are at most the core count (4 in the
+/// paper's Table II config), so the common case lives entirely inline
+/// and an M→S downgrade or a write upgrade allocates nothing.
+/// Iteration order is insertion order — downstream invalidation
+/// handling creates persist dependencies in that order, so a bitmask
+/// (which would iterate in id order) is not an equivalent
+/// representation.
+///
+/// Layout matters here: one of these lives inside every directory
+/// entry (`dir` is indexed per line), so the set is kept to 32 bytes —
+/// four inline `u32` ids plus a boxed spill vector that ≤4-core
+/// configs never allocate. An early version with `[ThreadId; 8]`
+/// inline (64 B) plus an unboxed `Vec` tripled the directory's memory
+/// traffic and showed up directly in the sweep wall clock.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SharerSet {
+    inline: [u32; SharerSet::INLINE],
+    len: u8,
+    /// Threads beyond the inline capacity (unallocated for ≤4-core
+    /// configs). The box is the point: `Option<Box<_>>` is 8 bytes in
+    /// the never-spilled common case where an inline `Vec` costs 24.
+    #[allow(clippy::box_collection)]
+    spill: Option<Box<Vec<ThreadId>>>,
+}
+
+impl SharerSet {
+    const INLINE: usize = 4;
+
+    /// The two-element set an M/E→S downgrade produces.
+    fn pair(a: ThreadId, b: ThreadId) -> SharerSet {
+        let mut s = SharerSet::default();
+        s.push(a);
+        s.push(b);
+        s
+    }
+
+    fn push(&mut self, t: ThreadId) {
+        let n = self.len as usize;
+        if n < SharerSet::INLINE {
+            self.inline[n] = t.0 as u32;
+            self.len += 1;
+        } else {
+            self.spill.get_or_insert_with(Default::default).push(t);
+        }
+    }
+
+    fn contains(&self, t: ThreadId) -> bool {
+        self.inline[..self.len as usize].contains(&(t.0 as u32))
+            || self.spill.as_ref().is_some_and(|s| s.contains(&t))
+    }
+
+    /// Number of threads in the set.
+    pub fn len(&self) -> usize {
+        self.len as usize + self.spill.as_ref().map_or(0, |s| s.len())
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Threads in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = ThreadId> + '_ {
+        self.inline[..self.len as usize]
+            .iter()
+            .map(|&t| ThreadId(t as usize))
+            .chain(self.spill.iter().flat_map(|s| s.iter().copied()))
+    }
+}
+
 /// Directory state for one line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum DirState {
     /// One core holds the line in M or E; `dirty` distinguishes M from E.
     Owned { owner: ThreadId, dirty: bool },
     /// Zero or more cores hold the line in S.
-    Shared(Vec<ThreadId>),
+    Shared(SharerSet),
 }
 
 /// Which level of the hierarchy satisfied an access.
@@ -67,13 +139,13 @@ pub struct AccessOutcome {
     /// fill, if any (the ASAP write-back-buffer / Bloom-filter machinery
     /// cares about these).
     pub evicted_dirty: Option<LineAddr>,
-    /// Sharers invalidated by a write upgrade. Their invalidation acks
-    /// carry epoch information: a sharer may still hold *pending persist
-    /// buffer writes* for the line (it wrote the line in M before being
-    /// downgraded to S by a reader), so the writer must order behind
-    /// them — without this the dependency chain of strong persist
-    /// atomicity is severed by the M→S downgrade.
-    pub invalidated: Vec<ThreadId>,
+    /// Sharers invalidated by a write upgrade, in invalidation order.
+    /// Their invalidation acks carry epoch information: a sharer may
+    /// still hold *pending persist buffer writes* for the line (it wrote
+    /// the line in M before being downgraded to S by a reader), so the
+    /// writer must order behind them — without this the dependency chain
+    /// of strong persist atomicity is severed by the M→S downgrade.
+    pub invalidated: SharerSet,
 }
 
 /// Aggregate cache statistics.
@@ -207,7 +279,7 @@ impl CoherenceHub {
                     dirty_supplier: None,
                     llc_miss: false,
                     evicted_dirty: None,
-                    invalidated: Vec::new(),
+                    invalidated: SharerSet::default(),
                 };
             }
             // Write to a line held Shared: upgrade through the directory.
@@ -216,7 +288,7 @@ impl CoherenceHub {
         // Directory path.
         let mut latency = self.llc_latency;
         let mut dirty_supplier = None;
-        let mut invalidated: Vec<ThreadId> = Vec::new();
+        let mut invalidated = SharerSet::default();
         let mut level = HitLevel::Llc;
         let llc_has = self.llc.contains(line, idx);
 
@@ -243,7 +315,7 @@ impl CoherenceHub {
                     });
                 } else {
                     // Downgrade remote M/E to S; both become sharers.
-                    self.dir[idx.as_usize()] = Some(DirState::Shared(vec![owner, t]));
+                    self.dir[idx.as_usize()] = Some(DirState::Shared(SharerSet::pair(owner, t)));
                 }
             }
             Some(DirState::Owned { owner, dirty }) => {
@@ -263,18 +335,18 @@ impl CoherenceHub {
                 if write {
                     // Invalidate all other sharers; their acks may carry
                     // epoch dependencies (see `invalidated`).
-                    for s in sharers.iter().filter(|&&s| s != t) {
+                    for s in sharers.iter().filter(|&s| s != t) {
                         self.l1[s.0].invalidate(line, idx);
                         self.l2[s.0].invalidate(line, idx);
                         self.stats.invalidations += 1;
-                        invalidated.push(*s);
+                        invalidated.push(s);
                     }
                     self.dir[idx.as_usize()] = Some(DirState::Owned {
                         owner: t,
                         dirty: true,
                     });
                 } else {
-                    if !sharers.contains(&t) {
+                    if !sharers.contains(t) {
                         sharers.push(t);
                     }
                     self.dir[idx.as_usize()] = Some(DirState::Shared(sharers));

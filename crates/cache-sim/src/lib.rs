@@ -35,6 +35,6 @@ mod setassoc;
 mod wbb;
 
 pub use bloom::CountingBloom;
-pub use coherence::{AccessOutcome, CacheStats, CoherenceHub, HitLevel};
+pub use coherence::{AccessOutcome, CacheStats, CoherenceHub, HitLevel, SharerSet};
 pub use setassoc::SetAssoc;
 pub use wbb::{WbbEntry, WriteBackBuffer};

@@ -24,7 +24,13 @@ use asap_sim_core::{LineAddr, LineIdx};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SetAssoc {
-    sets: Vec<Vec<(LineIdx, u64)>>, // (interned line, last-use tick)
+    /// Flat slot storage: set `s` occupies `slots[s*ways..(s+1)*ways]`,
+    /// of which the first `lens[s]` entries are valid. Two allocations
+    /// for the whole array (a per-set `Vec<Vec<_>>` cost one allocation
+    /// per touched set — thousands per simulator in a sweep) and the
+    /// scan of a set is one contiguous cache line's worth of tags.
+    slots: Vec<(LineIdx, u64)>, // (interned line, last-use tick)
+    lens: Vec<u8>,
     ways: usize,
     tick: u64,
 }
@@ -34,15 +40,18 @@ impl SetAssoc {
     ///
     /// # Panics
     ///
-    /// Panics if `num_sets` is not a power of two or either argument is 0.
+    /// Panics if `num_sets` is not a power of two, either argument is 0,
+    /// or `ways` exceeds 255 (the per-set occupancy is a byte).
     pub fn new(num_sets: usize, ways: usize) -> SetAssoc {
         assert!(
             num_sets.is_power_of_two() && num_sets > 0,
             "sets must be a power of two"
         );
         assert!(ways > 0, "ways must be nonzero");
+        assert!(ways <= u8::MAX as usize, "ways must fit in a byte");
         SetAssoc {
-            sets: vec![Vec::with_capacity(ways); num_sets],
+            slots: vec![(LineIdx(0), 0); num_sets * ways],
+            lens: vec![0; num_sets],
             ways,
             tick: 0,
         }
@@ -61,15 +70,22 @@ impl SetAssoc {
 
     #[inline]
     fn set_index(&self, line: LineAddr) -> usize {
-        (line.index() as usize) & (self.sets.len() - 1)
+        (line.index() as usize) & (self.lens.len() - 1)
+    }
+
+    /// The valid slots of the set holding `line`.
+    #[inline]
+    fn set(&self, s: usize) -> &[(LineIdx, u64)] {
+        &self.slots[s * self.ways..s * self.ways + self.lens[s] as usize]
     }
 
     /// Whether `line` (interned as `idx`) is present (does not update
     /// recency).
     #[inline]
     pub fn contains(&self, line: LineAddr, idx: LineIdx) -> bool {
-        let s = self.set_index(line);
-        self.sets[s].iter().any(|&(l, _)| l == idx)
+        self.set(self.set_index(line))
+            .iter()
+            .any(|&(l, _)| l == idx)
     }
 
     /// Insert or refresh `line` (interned as `idx`); returns the victim
@@ -78,23 +94,26 @@ impl SetAssoc {
         self.tick += 1;
         let tick = self.tick;
         let s = self.set_index(line);
-        let set = &mut self.sets[s];
+        let len = self.lens[s] as usize;
+        let base = s * self.ways;
+        let set = &mut self.slots[base..base + len];
         if let Some(entry) = set.iter_mut().find(|(l, _)| *l == idx) {
             entry.1 = tick;
             return None;
         }
-        if set.len() < self.ways {
-            set.push((idx, tick));
+        if len < self.ways {
+            self.slots[base + len] = (idx, tick);
+            self.lens[s] += 1;
             return None;
         }
         // Evict true-LRU victim.
-        let (victim_idx, _) = set
+        let (victim_pos, _) = set
             .iter()
             .enumerate()
             .min_by_key(|(_, &(_, t))| t)
             .expect("nonempty set");
-        let victim = set[victim_idx].0;
-        set[victim_idx] = (idx, tick);
+        let victim = set[victim_pos].0;
+        set[victim_pos] = (idx, tick);
         Some(victim)
     }
 
@@ -102,9 +121,12 @@ impl SetAssoc {
     /// was present.
     pub fn invalidate(&mut self, line: LineAddr, idx: LineIdx) -> bool {
         let s = self.set_index(line);
-        let set = &mut self.sets[s];
+        let len = self.lens[s] as usize;
+        let base = s * self.ways;
+        let set = &mut self.slots[base..base + len];
         if let Some(pos) = set.iter().position(|&(l, _)| l == idx) {
-            set.swap_remove(pos);
+            set.swap(pos, len - 1);
+            self.lens[s] -= 1;
             true
         } else {
             false
@@ -113,12 +135,12 @@ impl SetAssoc {
 
     /// Number of lines currently present.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.lens.iter().map(|&l| l as usize).sum()
     }
 
     /// Total capacity in lines.
     pub fn capacity_lines(&self) -> usize {
-        self.sets.len() * self.ways
+        self.lens.len() * self.ways
     }
 }
 

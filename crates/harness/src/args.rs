@@ -66,6 +66,39 @@ where
     parse_arg(args, name).unwrap_or(default)
 }
 
+/// Parse environment variable `name`. `Ok(None)` when unset or empty;
+/// an error message when the value does not parse. Same strictness
+/// contract as [`try_parse_arg`]: a malformed value must never silently
+/// fall back to a default.
+pub fn try_parse_env<T: FromStr>(name: &str) -> Result<Option<T>, String>
+where
+    T::Err: Display,
+{
+    match std::env::var(name) {
+        Err(_) => Ok(None),
+        Ok(v) if v.is_empty() => Ok(None),
+        Ok(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|e| format!("invalid value '{v}' for ${name}: {e}")),
+    }
+}
+
+/// Parse environment variable `name`, exiting with status 2 and a
+/// diagnostic on a malformed value. Unset or empty → `None`.
+pub fn parse_env<T: FromStr>(name: &str) -> Option<T>
+where
+    T::Err: Display,
+{
+    match try_parse_env(name) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +145,24 @@ mod tests {
         let args = argv(&["prog", "--threads"]);
         let err = try_parse_arg::<usize>(&args, "--threads").unwrap_err();
         assert!(err.contains("requires a value"), "{err}");
+    }
+
+    #[test]
+    fn env_parsing_is_strict() {
+        // Unset → None.
+        assert_eq!(try_parse_env::<usize>("ASAP_ARGS_TEST_UNSET_VAR"), Ok(None));
+        // Set via a child-free std::env round-trip: std::env::set_var is
+        // process-global, so use a name unique to this test.
+        std::env::set_var("ASAP_ARGS_TEST_QUEUE", "7");
+        assert_eq!(try_parse_env::<usize>("ASAP_ARGS_TEST_QUEUE"), Ok(Some(7)));
+        std::env::set_var("ASAP_ARGS_TEST_QUEUE", "banana");
+        let err = try_parse_env::<usize>("ASAP_ARGS_TEST_QUEUE").unwrap_err();
+        assert!(err.contains("ASAP_ARGS_TEST_QUEUE"), "{err}");
+        assert!(err.contains("banana"), "{err}");
+        // Empty counts as unset, not as a parse error.
+        std::env::set_var("ASAP_ARGS_TEST_QUEUE", "");
+        assert_eq!(try_parse_env::<usize>("ASAP_ARGS_TEST_QUEUE"), Ok(None));
+        std::env::remove_var("ASAP_ARGS_TEST_QUEUE");
     }
 
     #[test]

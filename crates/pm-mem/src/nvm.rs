@@ -8,8 +8,10 @@
 //! the recovered state against the write journal.
 
 use crate::space::LineSnapshot;
-use asap_sim_core::{EpochId, LineAddr, CACHE_LINE_BYTES};
-use std::collections::HashMap;
+use asap_sim_core::{mix64 as mix, EpochId, LineAddr, CACHE_LINE_BYTES};
+
+/// Probe-table sentinel for an empty slot.
+const EMPTY: u32 = u32::MAX;
 
 /// Per-line persisted state.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,13 +55,36 @@ impl Default for LineRecord {
 /// assert_eq!(nvm.line(line).data[0], 7);
 /// assert_eq!(nvm.line(line).seq, Some(3));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct NvmImage {
-    lines: HashMap<LineAddr, LineRecord>,
-    /// Lines populated before the measured run (a pre-formatted pool):
-    /// exempt from the oracle's "untagged lines are zero" check.
-    preinit: std::collections::HashSet<LineAddr>,
+    /// Probe table: each slot is `EMPTY` or an index into `keys`/`recs`.
+    /// Open-addressed (same scheme as `LineTable`/`PmSpace`): `persist`
+    /// runs once per accepted flush, and a SipHash `HashMap` insert
+    /// there was measurable sweep wall clock. Dense storage doubles as
+    /// a deterministic (first-touch) iteration order for the oracle.
+    slots: Vec<u32>,
+    keys: Vec<LineAddr>,
+    recs: Vec<LineRecord>,
+    /// `slots.len() - 1` (capacity is a power of two).
+    mask: usize,
+    /// Whether the line was populated before the measured run (a
+    /// pre-formatted pool): exempt from the oracle's "untagged lines
+    /// are zero" check. Indexed like `keys`/`recs`.
+    preinit: Vec<bool>,
     writes: u64,
+}
+
+impl Default for NvmImage {
+    fn default() -> NvmImage {
+        NvmImage {
+            slots: vec![EMPTY; 512],
+            keys: Vec::new(),
+            recs: Vec::new(),
+            mask: 511,
+            preinit: Vec::new(),
+            writes: 0,
+        }
+    }
 }
 
 impl NvmImage {
@@ -68,10 +93,63 @@ impl NvmImage {
         NvmImage::default()
     }
 
+    /// Dense index of `line`'s record, if present.
+    #[inline]
+    fn lookup(&self, line: LineAddr) -> Option<usize> {
+        let mut slot = (mix(line.index()) as usize) & self.mask;
+        loop {
+            let s = self.slots[slot];
+            if s == EMPTY {
+                return None;
+            }
+            if self.keys[s as usize] == line {
+                return Some(s as usize);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Dense index of `line`'s record, inserting a default record (and
+    /// growing the probe table) on first touch.
+    fn lookup_or_insert(&mut self, line: LineAddr) -> usize {
+        if let Some(i) = self.lookup(line) {
+            return i;
+        }
+        let idx = self.keys.len() as u32;
+        assert!(idx != EMPTY, "NVM image overflow");
+        self.keys.push(line);
+        self.recs.push(LineRecord::default());
+        self.preinit.push(false);
+        let mut slot = (mix(line.index()) as usize) & self.mask;
+        while self.slots[slot] != EMPTY {
+            slot = (slot + 1) & self.mask;
+        }
+        self.slots[slot] = idx;
+        if self.keys.len() * 2 > self.slots.len() {
+            self.grow();
+        }
+        idx as usize
+    }
+
+    fn grow(&mut self) {
+        let cap = self.slots.len() * 2;
+        self.mask = cap - 1;
+        self.slots.clear();
+        self.slots.resize(cap, EMPTY);
+        for (i, &line) in self.keys.iter().enumerate() {
+            let mut slot = (mix(line.index()) as usize) & self.mask;
+            while self.slots[slot] != EMPTY {
+                slot = (slot + 1) & self.mask;
+            }
+            self.slots[slot] = i as u32;
+        }
+    }
+
     /// Current contents and ownership of `line` (zero/no-owner default for
     /// never-written lines).
     pub fn line(&self, line: LineAddr) -> LineRecord {
-        self.lines.get(&line).cloned().unwrap_or_default()
+        self.lookup(line)
+            .map_or_else(LineRecord::default, |i| self.recs[i].clone())
     }
 
     /// Apply a write to the media, recording its ownership tag.
@@ -83,14 +161,16 @@ impl NvmImage {
         epoch: Option<EpochId>,
     ) {
         self.writes += 1;
-        self.lines.insert(line, LineRecord { data, seq, epoch });
+        let i = self.lookup_or_insert(line);
+        self.recs[i] = LineRecord { data, seq, epoch };
     }
 
     /// Restore a line from an undo record during crash handling. The
     /// ownership tag reverts to the one captured when the undo record was
     /// created.
     pub fn restore(&mut self, line: LineAddr, record: LineRecord) {
-        self.lines.insert(line, record);
+        let i = self.lookup_or_insert(line);
+        self.recs[i] = record;
     }
 
     /// Populate a line as part of the *initial* pool contents (structure
@@ -98,20 +178,18 @@ impl NvmImage {
     /// line carries no write tag; [`NvmImage::is_preinit`] marks it for
     /// the consistency oracle.
     pub fn preinit(&mut self, line: LineAddr, data: LineSnapshot) {
-        self.preinit.insert(line);
-        self.lines.insert(
-            line,
-            LineRecord {
-                data,
-                seq: None,
-                epoch: None,
-            },
-        );
+        let i = self.lookup_or_insert(line);
+        self.preinit[i] = true;
+        self.recs[i] = LineRecord {
+            data,
+            seq: None,
+            epoch: None,
+        };
     }
 
     /// Whether `line` was part of the initial pool contents.
     pub fn is_preinit(&self, line: LineAddr) -> bool {
-        self.preinit.contains(&line)
+        self.lookup(line).is_some_and(|i| self.preinit[i])
     }
 
     /// Read a little-endian u64 from the media image.
@@ -138,14 +216,15 @@ impl NvmImage {
         self.writes
     }
 
-    /// Iterate over all lines ever written, in unspecified order.
+    /// Iterate over all lines ever written, in first-touch order
+    /// (deterministic by construction).
     pub fn iter(&self) -> impl Iterator<Item = (&LineAddr, &LineRecord)> {
-        self.lines.iter()
+        self.keys.iter().zip(&self.recs)
     }
 
     /// Number of distinct lines present.
     pub fn distinct_lines(&self) -> usize {
-        self.lines.len()
+        self.keys.len()
     }
 }
 

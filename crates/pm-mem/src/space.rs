@@ -1,10 +1,12 @@
 //! Byte-addressable functional persistent-memory space.
 
-use asap_sim_core::{LineAddr, CACHE_LINE_BYTES};
-use std::collections::HashMap;
+use asap_sim_core::{mix64 as mix, LineAddr, CACHE_LINE_BYTES};
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_BYTES: usize = 1 << PAGE_SHIFT; // 4 kB
+
+/// Probe-table sentinel for an empty slot.
+const EMPTY: u32 = u32::MAX;
 
 /// A 64-byte snapshot of one cache line's contents.
 pub type LineSnapshot = [u8; CACHE_LINE_BYTES as usize];
@@ -15,6 +17,15 @@ pub type LineSnapshot = [u8; CACHE_LINE_BYTES as usize];
 ///
 /// Unbacked bytes read as zero, mirroring freshly-mapped PM pages.
 ///
+/// The page table is a zero-dependency open-addressed map (linear
+/// probing, multiplicative hashing) with a one-entry cache of the last
+/// page touched: the workload programs funnel every functional load and
+/// store through here — several lookups per simulated memory operation —
+/// and a SipHash `HashMap` page walk was a measurable slice of the
+/// sweep's wall clock. Accesses have strong page locality (a data
+/// structure node and its line snapshot live on one page), so the cache
+/// short-circuits most probes entirely.
+///
 /// # Example
 ///
 /// ```
@@ -24,9 +35,30 @@ pub type LineSnapshot = [u8; CACHE_LINE_BYTES as usize];
 /// assert_eq!(pm.read_u64(0x1000), 0xdead_beef);
 /// assert_eq!(pm.read_u64(0x2000), 0); // unbacked reads as zero
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PmSpace {
-    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+    /// Probe table: each slot is `EMPTY` or an index into `pnos`/`pages`.
+    slots: Vec<u32>,
+    /// Dense storage: `pnos[i]` is the page number of `pages[i]`.
+    pnos: Vec<u64>,
+    pages: Vec<Box<[u8; PAGE_BYTES]>>,
+    /// `slots.len() - 1` (capacity is a power of two).
+    mask: usize,
+    /// Last page touched (`pno`, dense index), `EMPTY` when invalid.
+    /// A `Cell` so the read path can refresh it through `&self`.
+    last: std::cell::Cell<(u64, u32)>,
+}
+
+impl Default for PmSpace {
+    fn default() -> PmSpace {
+        PmSpace {
+            slots: vec![EMPTY; 64],
+            pnos: Vec::new(),
+            pages: Vec::new(),
+            mask: 63,
+            last: std::cell::Cell::new((0, EMPTY)),
+        }
+    }
 }
 
 impl PmSpace {
@@ -39,16 +71,69 @@ impl PmSpace {
         (addr >> PAGE_SHIFT, (addr as usize) & (PAGE_BYTES - 1))
     }
 
+    /// Dense index of `pno`'s page, if backed (refreshes the one-entry
+    /// cache on a hit).
+    #[inline]
+    fn lookup(&self, pno: u64) -> Option<usize> {
+        let (lp, li) = self.last.get();
+        if li != EMPTY && lp == pno {
+            return Some(li as usize);
+        }
+        let mut slot = (mix(pno) as usize) & self.mask;
+        loop {
+            let s = self.slots[slot];
+            if s == EMPTY {
+                return None;
+            }
+            if self.pnos[s as usize] == pno {
+                self.last.set((pno, s));
+                return Some(s as usize);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
     fn page_mut(&mut self, pno: u64) -> &mut [u8; PAGE_BYTES] {
-        self.pages
-            .entry(pno)
-            .or_insert_with(|| Box::new([0u8; PAGE_BYTES]))
+        let idx = match self.lookup(pno) {
+            Some(i) => i,
+            None => {
+                let idx = self.pages.len() as u32;
+                assert!(idx != EMPTY, "page table overflow");
+                self.pnos.push(pno);
+                self.pages.push(Box::new([0u8; PAGE_BYTES]));
+                let mut slot = (mix(pno) as usize) & self.mask;
+                while self.slots[slot] != EMPTY {
+                    slot = (slot + 1) & self.mask;
+                }
+                self.slots[slot] = idx;
+                if self.pages.len() * 2 > self.slots.len() {
+                    self.grow();
+                }
+                self.last.set((pno, idx));
+                idx as usize
+            }
+        };
+        &mut self.pages[idx]
+    }
+
+    fn grow(&mut self) {
+        let cap = self.slots.len() * 2;
+        self.mask = cap - 1;
+        self.slots.clear();
+        self.slots.resize(cap, EMPTY);
+        for (i, &pno) in self.pnos.iter().enumerate() {
+            let mut slot = (mix(pno) as usize) & self.mask;
+            while self.slots[slot] != EMPTY {
+                slot = (slot + 1) & self.mask;
+            }
+            self.slots[slot] = i as u32;
+        }
     }
 
     /// Read one byte.
     pub fn read_u8(&self, addr: u64) -> u8 {
         let (pno, off) = Self::page_of(addr);
-        self.pages.get(&pno).map_or(0, |p| p[off])
+        self.lookup(pno).map_or(0, |i| self.pages[i][off])
     }
 
     /// Write one byte.
@@ -67,8 +152,8 @@ impl PmSpace {
         while !buf.is_empty() {
             let (pno, off) = Self::page_of(addr);
             let n = buf.len().min(PAGE_BYTES - off);
-            match self.pages.get(&pno) {
-                Some(p) => buf[..n].copy_from_slice(&p[off..off + n]),
+            match self.lookup(pno) {
+                Some(i) => buf[..n].copy_from_slice(&self.pages[i][off..off + n]),
                 None => buf[..n].fill(0),
             }
             addr += n as u64;
@@ -128,6 +213,15 @@ impl PmSpace {
     /// Number of backed 4 kB pages (diagnostics).
     pub fn backed_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Iterate over backed pages as `(page_base_addr, bytes)` in
+    /// first-touch order (deterministic by construction).
+    pub fn iter_pages(&self) -> impl Iterator<Item = (u64, &[u8; PAGE_BYTES])> {
+        self.pnos
+            .iter()
+            .zip(&self.pages)
+            .map(|(&pno, p)| (pno << PAGE_SHIFT, &**p))
     }
 }
 

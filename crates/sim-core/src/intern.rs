@@ -69,10 +69,12 @@ impl Default for LineTable {
     }
 }
 
-/// Finalizer-style mixer (splitmix64): line indices are sequential, so a
-/// strong bit mix is what keeps linear probing clusters short.
+/// Finalizer-style mixer (splitmix64): addresses and page numbers are
+/// near-sequential, so a strong bit mix is what keeps linear-probing
+/// clusters short. Shared by every open-addressed table in the
+/// workspace (`LineTable` here, the page table in `asap-pm-mem`, …).
 #[inline]
-fn mix(x: u64) -> u64 {
+pub fn mix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -102,7 +104,7 @@ impl LineTable {
     /// index on first touch).
     #[inline]
     pub fn intern(&mut self, line: LineAddr) -> LineIdx {
-        let mut slot = (mix(line.index()) as usize) & self.mask;
+        let mut slot = (mix64(line.index()) as usize) & self.mask;
         loop {
             let s = self.slots[slot];
             if s == EMPTY {
@@ -125,7 +127,7 @@ impl LineTable {
     /// Look up `line` without interning it.
     #[inline]
     pub fn lookup(&self, line: LineAddr) -> Option<LineIdx> {
-        let mut slot = (mix(line.index()) as usize) & self.mask;
+        let mut slot = (mix64(line.index()) as usize) & self.mask;
         loop {
             let s = self.slots[slot];
             if s == EMPTY {
@@ -172,7 +174,7 @@ impl LineTable {
         self.slots.clear();
         self.slots.resize(cap, EMPTY);
         for (i, &a) in self.addrs.iter().enumerate() {
-            let mut slot = (mix(a.index()) as usize) & self.mask;
+            let mut slot = (mix64(a.index()) as usize) & self.mask;
             while self.slots[slot] != EMPTY {
                 slot = (slot + 1) & self.mask;
             }

@@ -52,9 +52,9 @@ mod time;
 mod trace;
 
 pub use config::{ConfigError, Flavor, ModelKind, SimConfig, SimConfigBuilder};
-pub use events::EventQueue;
+pub use events::{EventQueue, QueueKind, ShardedEventQueue};
 pub use ids::{EpochId, LineAddr, McId, ThreadId, CACHE_LINE_BYTES, CACHE_LINE_SHIFT};
-pub use intern::{LineIdx, LineTable};
+pub use intern::{mix64, LineIdx, LineTable};
 pub use rng::DetRng;
 pub use sample::Sampler;
 pub use stats::{Histogram, RunningStat, StatSnapshot, Stats};
