@@ -67,29 +67,59 @@ pub fn lint_workload_with(
     p: &AnalysisParams,
     waivers: &[Waiver],
 ) -> WorkloadLintReport {
+    lint_workload_usage(kind, p, waivers).0
+}
+
+/// [`lint_workload_with`] plus the waiver-usage vector the stale audit
+/// aggregates (parallel to `waivers`; see
+/// [`waivers::partition_with_usage`]).
+fn lint_workload_usage(
+    kind: WorkloadKind,
+    p: &AnalysisParams,
+    waivers: &[Waiver],
+) -> (WorkloadLintReport, Vec<bool>) {
     let mut programs = make_workload(kind, &p.workload_params());
     let extracted = extract_streams(&mut programs, p.max_bursts);
     let findings = lint_streams(&extracted.streams, &LintOptions { flavor: p.flavor });
-    let (findings, waived) = waivers::partition(findings, kind.label(), waivers);
-    WorkloadLintReport {
-        workload: kind.label().to_string(),
-        flavor: p.flavor,
-        threads: programs.len(),
-        micro_ops: extracted.total_ops(),
-        complete: extracted.complete,
-        findings,
-        waived,
+    let (findings, waived, used) = waivers::partition_with_usage(findings, kind.label(), waivers);
+    (
+        WorkloadLintReport {
+            workload: kind.label().to_string(),
+            flavor: p.flavor,
+            threads: programs.len(),
+            micro_ops: extracted.total_ops(),
+            complete: extracted.complete,
+            findings,
+            waived,
+        },
+        used,
+    )
+}
+
+/// Lint `kinds` in order under `waivers` and run the stale-waiver audit
+/// over the whole run: the returned [`LintRun::stale_waivers`] lists
+/// every waiver this run could have exercised but that matched nothing.
+pub fn lint_run_with(kinds: &[WorkloadKind], p: &AnalysisParams, waivers: &[Waiver]) -> LintRun {
+    let mut used = vec![false; waivers.len()];
+    let mut reports = Vec::with_capacity(kinds.len());
+    for &k in kinds {
+        let (report, u) = lint_workload_usage(k, p, waivers);
+        for (acc, fired) in used.iter_mut().zip(u) {
+            *acc |= fired;
+        }
+        reports.push(report);
+    }
+    let linted: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
+    LintRun {
+        reports,
+        stale_waivers: waivers::stale_waivers(waivers, &linted, &used),
     }
 }
 
-/// Lint the whole Table III suite (14 workloads) in figure order.
+/// Lint the whole Table III suite (14 workloads) in figure order, with
+/// the stale-waiver audit over the built-in table.
 pub fn lint_all_workloads(p: &AnalysisParams) -> LintRun {
-    LintRun {
-        reports: WorkloadKind::all()
-            .into_iter()
-            .map(|k| lint_workload(k, p))
-            .collect(),
-    }
+    lint_run_with(&WorkloadKind::all(), p, waivers::BUILTIN_WAIVERS)
 }
 
 /// Simulate one workload with the journal enabled and run the
@@ -169,6 +199,44 @@ mod tests {
         let echo = run.reports.iter().find(|r| r.workload == "echo").unwrap();
         assert!(echo.waived.is_empty());
         assert!(run.total_waived() > 0);
+    }
+
+    #[test]
+    fn whole_suite_exercises_every_builtin_waiver() {
+        // The shipped table must not rot: every entry still matches a
+        // finding somewhere in the suite.
+        let run = lint_all_workloads(&AnalysisParams::default());
+        assert!(
+            run.stale_waivers.is_empty(),
+            "stale builtin waivers: {:?}",
+            run.stale_waivers
+        );
+    }
+
+    #[test]
+    fn removed_idiom_leaves_a_stale_waiver_behind() {
+        // Fixture: a waiver for a (workload, rule) pair the workload no
+        // longer triggers — as if the excused idiom had been fixed.
+        let waivers = [
+            Waiver {
+                workload: "queue",
+                rule: "useless-fence",
+                reason: "still fires",
+            },
+            Waiver {
+                workload: "queue",
+                rule: "missing-persist",
+                reason: "the idiom this excused was removed",
+            },
+        ];
+        let run = lint_run_with(&[WorkloadKind::Queue], &quick(), &waivers);
+        assert_eq!(
+            run.stale_waivers,
+            vec![("queue".to_string(), "missing-persist".to_string())]
+        );
+        // The still-matching waiver keeps working.
+        assert!(run.reports[0].is_clean());
+        assert!(!run.reports[0].waived.is_empty());
     }
 
     #[test]

@@ -28,11 +28,21 @@
 //!
 //! Deliberately-broken mini-workloads for exercising each rule live in
 //! [`fixtures`].
+//!
+//! 3. **crash-space exploration** ([`explore`]) — the dynamic
+//!    counterpart to the lint pass: machine-checks the paper's recovery
+//!    theorems (crash consistency under Theorems 1–2) over *every*
+//!    crash instant of a workload run, pruned by a crash-state
+//!    equivalence relation so ~10⁶-point spaces verify in seconds. See
+//!    the module docs for the two-pass collect/verify architecture; the
+//!    `crash_explore` harness binary fans the verify pass out over a
+//!    worker pool with byte-identical reports at any worker count.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod driver;
+pub mod explore;
 pub mod extract;
 pub mod fixtures;
 pub mod lint;
@@ -41,6 +51,7 @@ pub mod rules;
 pub mod waivers;
 
 pub use driver::AnalysisParams;
+pub use explore::{explore_all, CrashSpaceReport, ExploreParams, PruneMode};
 pub use extract::{extract_streams, ExtractedStreams};
 pub use lint::{lint_streams, Finding, LintOptions, LintRule, Severity, ThreadStream};
 pub use report::{LintRun, WorkloadLintReport};

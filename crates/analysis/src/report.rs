@@ -50,6 +50,12 @@ impl WorkloadLintReport {
 pub struct LintRun {
     /// Per-workload reports, in the order they were linted.
     pub reports: Vec<WorkloadLintReport>,
+    /// Waivers this run could have exercised but that matched nothing,
+    /// as `(workload, rule)` pairs (see
+    /// [`crate::waivers::stale_waivers`]). Non-empty fails the
+    /// `--deny-warnings` gate: a rotted waiver is primed to mask the
+    /// next regression of its rule.
+    pub stale_waivers: Vec<(String, String)>,
 }
 
 impl LintRun {
@@ -96,6 +102,17 @@ impl LintRun {
             }
             let _ = writeln!(out);
         }
+        // Stale-waiver audit lines render only when non-empty, so the
+        // golden fixture (no stale waivers) is unchanged.
+        for (workload, rule) in &self.stale_waivers {
+            let _ = writeln!(
+                out,
+                "stale waiver: ({workload}, {rule}) no longer matches any finding"
+            );
+        }
+        if !self.stale_waivers.is_empty() {
+            let _ = writeln!(out);
+        }
         let _ = writeln!(
             out,
             "total: {} finding(s), {} waived across {} workload(s)",
@@ -138,6 +155,18 @@ impl LintRun {
             }
             out.push_str("]}");
         }
+        out.push_str("],\"staleWaivers\":[");
+        for (i, (workload, rule)) in self.stale_waivers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"workload\":{},\"rule\":{}}}",
+                json_str(workload),
+                json_str(rule)
+            );
+        }
         let _ = write!(
             out,
             "],\"totalFindings\":{},\"totalWaived\":{}}}",
@@ -176,7 +205,7 @@ fn finding_json(f: &Finding, reason: Option<&str>) -> String {
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -222,7 +251,25 @@ mod tests {
                 findings: vec![finding()],
                 waived: vec![(finding(), "fixture".into())],
             }],
+            stale_waivers: Vec::new(),
         }
+    }
+
+    #[test]
+    fn stale_waivers_render_in_text_and_json_only_when_present() {
+        let mut r = run();
+        assert!(!r.to_text().contains("stale waiver"));
+        assert!(r.to_json().contains("\"staleWaivers\":[]"));
+        r.stale_waivers
+            .push(("queue".to_string(), "missing-persist".to_string()));
+        let text = r.to_text();
+        assert!(
+            text.contains("stale waiver: (queue, missing-persist) no longer matches any finding"),
+            "{text}"
+        );
+        assert!(r
+            .to_json()
+            .contains("\"staleWaivers\":[{\"workload\":\"queue\",\"rule\":\"missing-persist\"}]"));
     }
 
     #[test]

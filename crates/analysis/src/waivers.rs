@@ -130,15 +130,65 @@ pub fn partition(
     workload: &str,
     waivers: &[Waiver],
 ) -> (Vec<Finding>, Vec<(Finding, String)>) {
+    let (active, waived, _) = partition_with_usage(findings, workload, waivers);
+    (active, waived)
+}
+
+/// [`partition`] plus a usage vector parallel to `waivers`: `used[i]`
+/// is `true` iff waiver `i` matched at least one finding. The audit
+/// input for [`stale_waivers`].
+pub fn partition_with_usage(
+    findings: Vec<Finding>,
+    workload: &str,
+    waivers: &[Waiver],
+) -> (Vec<Finding>, Vec<(Finding, String)>, Vec<bool>) {
     let mut active = Vec::new();
     let mut waived = Vec::new();
+    let mut used = vec![false; waivers.len()];
     for f in findings {
-        match waivers.iter().find(|w| w.matches(workload, &f)) {
-            Some(w) => waived.push((f, w.reason.to_string())),
+        match waivers.iter().position(|w| w.matches(workload, &f)) {
+            Some(i) => {
+                used[i] = true;
+                waived.push((f, waivers[i].reason.to_string()));
+            }
             None => active.push(f),
         }
     }
-    (active, waived)
+    (active, waived, used)
+}
+
+/// The stale-waiver audit: waivers that *could* have been exercised by
+/// this run but matched nothing, as `(workload, rule)` pairs in table
+/// order.
+///
+/// A waiver rots silently: the workload it excused gets fixed or
+/// rewritten, the finding disappears, and the waiver stays behind —
+/// ready to mask a *future* regression of the same rule. This audit
+/// turns that into a CI failure (`persist_lint --deny-warnings`).
+///
+/// `used` is the element-wise OR of every linted workload's usage
+/// vector from [`partition_with_usage`]; `linted` names the workloads
+/// that were actually linted. A workload-specific waiver is audited
+/// only when its workload was linted; a `"*"` waiver is audited only
+/// when the whole suite was (anything less could false-positive on a
+/// partial run).
+pub fn stale_waivers(waivers: &[Waiver], linted: &[&str], used: &[bool]) -> Vec<(String, String)> {
+    let whole_suite = asap_workloads::WorkloadKind::all()
+        .iter()
+        .all(|k| linted.contains(&k.label()));
+    waivers
+        .iter()
+        .zip(used)
+        .filter(|&(w, &u)| {
+            let auditable = if w.workload == "*" {
+                whole_suite
+            } else {
+                linted.contains(&w.workload)
+            };
+            auditable && !u
+        })
+        .map(|(w, _)| (w.workload.to_string(), w.rule.to_string()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -174,6 +224,42 @@ mod tests {
             reason: "r",
         };
         assert!(any.matches("echo", &finding("useless-fence")));
+    }
+
+    #[test]
+    fn usage_marks_fired_waivers_and_audit_flags_the_rest() {
+        let waivers = [
+            Waiver {
+                workload: "queue",
+                rule: "redundant-flush",
+                reason: "fires",
+            },
+            Waiver {
+                workload: "queue",
+                rule: "missing-persist",
+                reason: "stale",
+            },
+            Waiver {
+                workload: "cceh",
+                rule: "useless-fence",
+                reason: "not linted here",
+            },
+            Waiver {
+                workload: "*",
+                rule: "useless-fence",
+                reason: "needs whole suite",
+            },
+        ];
+        let (_, _, used) =
+            partition_with_usage(vec![finding("redundant-flush")], "queue", &waivers);
+        assert_eq!(used, vec![true, false, false, false]);
+        let stale = stale_waivers(&waivers, &["queue"], &used);
+        // Only the queue-specific unfired waiver is stale: cceh was not
+        // linted and "*" needs the whole suite.
+        assert_eq!(
+            stale,
+            vec![("queue".to_string(), "missing-persist".to_string())]
+        );
     }
 
     #[test]

@@ -69,6 +69,13 @@ pub struct DepGraph {
     /// cannot order (edges are only recorded when the hardware needs
     /// them — an already-committed source epoch never gets one).
     clock: u64,
+    /// Monotonic mutation counter, distinct from `clock`: bumped on every
+    /// structural change (new epoch registered, cross edge recorded,
+    /// epoch committed). `clock` deliberately does *not* advance when a
+    /// cross edge is added to an existing epoch — its stamps feed the
+    /// race detector — so the crash-space explorer keys its pruning
+    /// digest on this counter instead.
+    version: u64,
 }
 
 impl DepGraph {
@@ -100,6 +107,7 @@ impl DepGraph {
         if !slot.exists {
             slot.exists = true;
             self.clock += 1;
+            self.version += 1;
             slot.created_at = Some(self.clock);
             self.num_epochs += 1;
         }
@@ -110,6 +118,7 @@ impl DepGraph {
     pub fn add_cross_dep(&mut self, dependent: EpochId, source: EpochId) {
         self.ensure(dependent);
         self.ensure(source);
+        self.version += 1;
         self.threads[dependent.thread.0][dependent.ts as usize]
             .cross
             .push(source);
@@ -122,6 +131,7 @@ impl DepGraph {
         if !slot.committed {
             slot.committed = true;
             self.clock += 1;
+            self.version += 1;
             slot.committed_at = Some(self.clock);
         }
     }
@@ -185,6 +195,12 @@ impl DepGraph {
     /// executed" in real time.
     pub fn now(&self) -> u64 {
         self.clock
+    }
+
+    /// Monotonic mutation counter (see the field docs): strictly
+    /// increases on every registration, cross edge, and commit.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Real-time ordering witness: `a` had committed before `b` was even

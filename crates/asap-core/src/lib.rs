@@ -75,7 +75,9 @@
 //!     .program(Box::new(TwoEpochs(3)))
 //!     .build();
 //! sim.run_to_completion();
-//! let report = sim.crash_and_check(); // crash *after* completion: trivially consistent
+//! // Crash *after* completion: trivially consistent. The `Err` case is
+//! // building without `.with_journal()`.
+//! let report = sim.crash_and_check().unwrap();
 //! assert!(report.is_consistent());
 //! ```
 
@@ -93,10 +95,13 @@ mod sim;
 pub use deps::DepGraph;
 pub use et::{EpochStatus, EpochTable};
 pub use ops::{BurstCtx, BurstStatus, MemOp, ThreadProgram};
-pub use oracle::CrashReport;
+pub use oracle::{CrashReport, OracleError, Violation, ViolationRule};
 pub use pb::{PbEntry, PbEntryState, PersistBuffer};
 pub use race::{RaceFinding, RaceReport};
-pub use sim::{default_queue_kind, set_default_queue_kind, Sim, SimBuilder, SimOutcome};
+pub use sim::{
+    default_queue_kind, set_default_queue_kind, BoundaryKind, CrashPoints, KeyMask, Sim,
+    SimBuilder, SimOutcome,
+};
 
 // Re-export the model/flavor selectors where users expect them.
 pub use asap_sim_core::{Flavor, ModelKind, QueueKind};

@@ -69,12 +69,106 @@ impl<T: Default> EpochDense<T> {
     }
 }
 
+/// The oracle rule a [`Violation`] broke. Every violation the checker
+/// can emit maps to exactly one rule, so downstream consumers (the
+/// crash-space explorer's per-rule tally, CI gates) can aggregate
+/// without parsing message text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ViolationRule {
+    /// Lemma 0.1: the epoch dependency graph admits no topological order.
+    DepCycle,
+    /// A recovered line's ownership tag does not resolve to a journaled
+    /// write of that line (dangling seq, or seq journaled for a
+    /// different address).
+    JournalIntegrity,
+    /// A recovered line's bytes differ from the journaled snapshot of
+    /// the write that owns it (Fig. 5-style lost update / torn value).
+    TornValue,
+    /// A line with no ownership tag holds non-zero bytes without being
+    /// part of the pre-initialized pool.
+    UntaggedNonZero,
+    /// Lemma 1.1: a committed epoch's write did not survive recovery.
+    CommittedWriteLost,
+    /// §IV-B prefix closure: a transitive dependency of a visible epoch
+    /// lost a write (Theorem 2 ordering violation).
+    OrderingViolated,
+}
+
+impl ViolationRule {
+    /// Stable kebab-case identifier (report/JSON key).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ViolationRule::DepCycle => "dep-cycle",
+            ViolationRule::JournalIntegrity => "journal-integrity",
+            ViolationRule::TornValue => "torn-value",
+            ViolationRule::UntaggedNonZero => "untagged-non-zero",
+            ViolationRule::CommittedWriteLost => "committed-write-lost",
+            ViolationRule::OrderingViolated => "ordering-violated",
+        }
+    }
+
+    /// All rules, in report order.
+    pub const ALL: [ViolationRule; 6] = [
+        ViolationRule::DepCycle,
+        ViolationRule::JournalIntegrity,
+        ViolationRule::TornValue,
+        ViolationRule::UntaggedNonZero,
+        ViolationRule::CommittedWriteLost,
+        ViolationRule::OrderingViolated,
+    ];
+}
+
+impl std::fmt::Display for ViolationRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One oracle violation: a typed rule plus the human-readable
+/// diagnostic. `Display` renders just the message, so existing
+/// `println!("- {v}")`-style consumers keep working.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which check failed.
+    pub rule: ViolationRule,
+    /// Human-readable diagnostic.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Why a crash check could not run at all (as opposed to running and
+/// finding violations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleError {
+    /// The simulation was built without `SimBuilder::with_journal()`, so
+    /// there is no golden write history to check the recovered image
+    /// against.
+    JournalDisabled,
+}
+
+impl std::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleError::JournalDisabled => {
+                f.write_str("crash checking requires SimBuilder::with_journal()")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
 /// Result of a crash-consistency check.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CrashReport {
-    /// Human-readable descriptions of every violation found (empty ⇒
-    /// consistent).
-    pub violations: Vec<String>,
+    /// Every violation found (empty ⇒ consistent), each carrying its
+    /// typed [`ViolationRule`] and diagnostic message.
+    pub violations: Vec<Violation>,
     /// Undo records applied during the crash drain.
     pub undo_records_applied: usize,
     /// Lines inspected in the recovered image.
@@ -102,9 +196,10 @@ pub fn check(journal: &WriteJournal, deps: &DepGraph, nvm: &NvmImage) -> CrashRe
 
     // Lemma 0.1: the dependency graph must be acyclic.
     if deps.topological_order().is_none() {
-        report
-            .violations
-            .push("epoch dependency graph contains a cycle (Lemma 0.1 violated)".to_string());
+        report.violations.push(Violation {
+            rule: ViolationRule::DepCycle,
+            message: "epoch dependency graph contains a cycle (Lemma 0.1 violated)".to_string(),
+        });
     }
 
     // Per-epoch write sets: epoch -> [(line, last (max-seq) write)],
@@ -129,23 +224,30 @@ pub fn check(journal: &WriteJournal, deps: &DepGraph, nvm: &NvmImage) -> CrashRe
         match rec.seq {
             Some(seq) => {
                 let Some(entry) = journal.get(asap_pm_mem::WriteSeq(seq)) else {
-                    report
-                        .violations
-                        .push(format!("line {line}: owner seq {seq} not in journal"));
+                    report.violations.push(Violation {
+                        rule: ViolationRule::JournalIntegrity,
+                        message: format!("line {line}: owner seq {seq} not in journal"),
+                    });
                     continue;
                 };
                 if entry.line != line {
-                    report.violations.push(format!(
-                        "line {line}: owner seq {seq} journaled for different line {}",
-                        entry.line
-                    ));
+                    report.violations.push(Violation {
+                        rule: ViolationRule::JournalIntegrity,
+                        message: format!(
+                            "line {line}: owner seq {seq} journaled for different line {}",
+                            entry.line
+                        ),
+                    });
                     continue;
                 }
                 if entry.data != rec.data {
-                    report.violations.push(format!(
-                        "line {line}: recovered bytes differ from journaled write seq {seq} \
-                         (Fig. 5-style lost update?)"
-                    ));
+                    report.violations.push(Violation {
+                        rule: ViolationRule::TornValue,
+                        message: format!(
+                            "line {line}: recovered bytes differ from journaled write seq {seq} \
+                             (Fig. 5-style lost update?)"
+                        ),
+                    });
                 }
                 if let Some(e) = rec.epoch {
                     let seen = visible.get_mut(e);
@@ -160,9 +262,10 @@ pub fn check(journal: &WriteJournal, deps: &DepGraph, nvm: &NvmImage) -> CrashRe
                 // must be all zeros, unless the line was part of the
                 // initial pool contents (structure setup).
                 if !nvm.is_preinit(line) && rec.data.iter().any(|&b| b != 0) {
-                    report
-                        .violations
-                        .push(format!("line {line}: untagged recovered line is non-zero"));
+                    report.violations.push(Violation {
+                        rule: ViolationRule::UntaggedNonZero,
+                        message: format!("line {line}: untagged recovered line is non-zero"),
+                    });
                 }
             }
         }
@@ -192,16 +295,25 @@ pub fn check(journal: &WriteJournal, deps: &DepGraph, nvm: &NvmImage) -> CrashRe
             let rec = nvm.line(line);
             let surviving = rec.seq.is_some_and(|s| s >= max_seq);
             if !surviving {
-                let why = if deps.is_committed(e) {
-                    "committed epoch lost a write (Lemma 1.1 violated)"
+                let (rule, why) = if deps.is_committed(e) {
+                    (
+                        ViolationRule::CommittedWriteLost,
+                        "committed epoch lost a write (Lemma 1.1 violated)",
+                    )
                 } else {
-                    "dependency of a visible epoch lost a write (ordering violated)"
+                    (
+                        ViolationRule::OrderingViolated,
+                        "dependency of a visible epoch lost a write (ordering violated)",
+                    )
                 };
-                report.violations.push(format!(
-                    "epoch {e}: write seq {max_seq} to {line} did not survive \
-                     (recovered owner seq {:?}): {why}",
-                    rec.seq
-                ));
+                report.violations.push(Violation {
+                    rule,
+                    message: format!(
+                        "epoch {e}: write seq {max_seq} to {line} did not survive \
+                         (recovered owner seq {:?}): {why}",
+                        rec.seq
+                    ),
+                });
             }
         }
     }
@@ -270,7 +382,8 @@ mod tests {
         nvm.persist(la(1), snap(9), Some(0), Some(ep(0, 0))); // wrong bytes
         let r = check(&j, &g, &nvm);
         assert!(!r.is_consistent());
-        assert!(r.violations[0].contains("differ"));
+        assert_eq!(r.violations[0].rule, ViolationRule::TornValue);
+        assert!(r.violations[0].message.contains("differ"));
     }
 
     #[test]
@@ -287,7 +400,8 @@ mod tests {
         nvm.persist(la(2), snap(6), Some(1), Some(ep(0, 1)));
         let r = check(&j, &g, &nvm);
         assert!(!r.is_consistent());
-        assert!(r.violations[0].contains("ordering violated"));
+        assert_eq!(r.violations[0].rule, ViolationRule::OrderingViolated);
+        assert!(r.violations[0].message.contains("ordering violated"));
     }
 
     #[test]
@@ -298,7 +412,8 @@ mod tests {
         let nvm = NvmImage::new(); // nothing persisted!
         let r = check(&j, &g, &nvm);
         assert!(!r.is_consistent());
-        assert!(r.violations[0].contains("Lemma 1.1"));
+        assert_eq!(r.violations[0].rule, ViolationRule::CommittedWriteLost);
+        assert!(r.violations[0].message.contains("Lemma 1.1"));
     }
 
     #[test]
@@ -349,7 +464,8 @@ mod tests {
         nvm.persist(la(3), snap(1), None, None);
         let r = check(&j, &g, &nvm);
         assert!(!r.is_consistent());
-        assert!(r.violations[0].contains("non-zero"));
+        assert_eq!(r.violations[0].rule, ViolationRule::UntaggedNonZero);
+        assert!(r.violations[0].message.contains("non-zero"));
     }
 
     #[test]
@@ -361,7 +477,8 @@ mod tests {
         let nvm = NvmImage::new();
         let r = check(&j, &g, &nvm);
         assert!(!r.is_consistent());
-        assert!(r.violations[0].contains("cycle"));
+        assert_eq!(r.violations[0].rule, ViolationRule::DepCycle);
+        assert!(r.violations[0].message.contains("cycle"));
     }
 
     #[test]

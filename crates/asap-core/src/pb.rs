@@ -86,6 +86,14 @@ pub struct PersistBuffer {
     /// `RefCell` because the scan is logically read-only and its callers
     /// hold `&self`). See [`ScanScratch`].
     scratch: RefCell<ScanScratch>,
+    /// Monotonic content-mutation counter: bumped when an entry's payload
+    /// changes (enqueue — both the coalesce and new-entry arms) or an
+    /// entry leaves the buffer (ack). State-only transitions
+    /// (inflight/NACK/wake) do not bump it: a battery-backed drain at
+    /// crash writes every buffered payload out regardless of state, so
+    /// only content changes can alter the recovered image. The
+    /// crash-space explorer keys BBB's pruning digest on this.
+    version: u64,
 }
 
 /// Scratch tables for the single-pass `next_flushable` scan.
@@ -210,6 +218,7 @@ impl PersistBuffer {
             nacked: 0,
             present: Vec::with_capacity(capacity),
             scratch: RefCell::new(ScanScratch::default()),
+            version: 0,
         }
     }
 
@@ -270,6 +279,7 @@ impl PersistBuffer {
                 let displaced = std::mem::replace(&mut e.data, data);
                 e.seq = seq;
                 self.coalesced += 1;
+                self.version += 1;
                 return Ok(Some(displaced));
             }
         }
@@ -278,6 +288,7 @@ impl PersistBuffer {
         }
         let id = self.next_id;
         self.next_id += 1;
+        self.version += 1;
         self.entries.push_back(PbEntry {
             id,
             line,
@@ -444,6 +455,7 @@ impl PersistBuffer {
     pub fn ack(&mut self, id: u64) -> Option<PbEntry> {
         let pos = self.entries.iter().position(|e| e.id == id)?;
         self.flushed_count += 1;
+        self.version += 1;
         let e = self.entries.remove(pos);
         if let Some(e) = e.as_ref() {
             match e.state {
@@ -477,6 +489,12 @@ impl PersistBuffer {
     /// Iterate over entries oldest-first.
     pub fn iter(&self) -> impl Iterator<Item = &PbEntry> {
         self.entries.iter()
+    }
+
+    /// Monotonic content-mutation counter (see the field docs): strictly
+    /// increases on every payload change and removal.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 }
 

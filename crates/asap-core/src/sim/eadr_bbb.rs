@@ -9,8 +9,10 @@
 //! energy budget) and back-pressures the core only when full — the
 //! paper's only BBB stall.
 
+use super::collect::KeyMask;
 use super::engine::Engine;
 use super::model::{PersistencyModel, StoreOp};
+use asap_pm_mem::NvmImage;
 
 pub(super) struct EadrModel;
 
@@ -35,6 +37,14 @@ impl PersistencyModel for EadrModel {
         // state equals the functional image — trivially consistent.
         // Nothing to verify against the media image.
         true
+    }
+
+    fn on_crash_preview(&self, _eng: &Engine, _nvm: &mut NvmImage) -> bool {
+        true
+    }
+
+    fn crash_key_mask(&self) -> KeyMask {
+        KeyMask::nvm_only()
     }
 }
 
@@ -101,5 +111,20 @@ impl PersistencyModel for BbbModel {
             }
         }
         false
+    }
+
+    fn on_crash_preview(&self, eng: &Engine, nvm: &mut NvmImage) -> bool {
+        // Same drain as `on_crash`, applied to the preview clone in the
+        // same per-core, buffer order.
+        for c in &eng.cores {
+            for e in c.pb.iter() {
+                nvm.persist(e.line, *e.data, Some(e.seq), Some(e.epoch));
+            }
+        }
+        false
+    }
+
+    fn crash_key_mask(&self) -> KeyMask {
+        KeyMask::battery_buffered()
     }
 }

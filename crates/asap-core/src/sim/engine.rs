@@ -3,6 +3,7 @@
 //! Protocol decisions live behind [`PersistencyModel`] hooks; the engine
 //! never branches on [`asap_sim_core::ModelKind`].
 
+use super::collect::{fnv1a_u64, BoundaryKind, CrashPoints, KeyMask, FNV_OFFSET};
 use super::model::PersistencyModel;
 use crate::deps::DepGraph;
 use crate::ops::{MemOp, ThreadProgram};
@@ -204,6 +205,10 @@ pub(super) struct Engine {
     pub tracer: Box<dyn Tracer>,
     /// Periodic occupancy/bandwidth sampler, if attached.
     pub sampler: Option<Sampler>,
+    /// Crash-point collector for the crash-space explorer, if attached
+    /// (`SimBuilder::collect_crash_points`). Observes boundaries and the
+    /// crash-state digest; never schedules simulation work.
+    pub collector: Option<Box<CrashPoints>>,
     /// Construction-time model capabilities (see
     /// [`PersistencyModel::uses_pb`] / `wants_background_flush`).
     pub uses_pb: bool,
@@ -315,6 +320,7 @@ impl Engine {
             trace_on: asap_sim_core::env_trace_enabled(),
             tracer: Box::new(NullTracer),
             sampler: None,
+            collector: None,
             uses_pb,
             flush_engine,
             burst_ops_scratch: Vec::new(),
@@ -368,6 +374,11 @@ impl Engine {
                 self.dump_state(m)
             );
             self.dispatch(m, ev);
+            // Sample the crash-state digest after every event: digest
+            // changes land on the timeline at the cycle that caused them.
+            if self.collector.is_some() {
+                self.note_crash_key(m);
+            }
         }
         self.finish_accounting();
     }
@@ -413,10 +424,55 @@ impl Engine {
 
     /// Hand a record to the trace sink (no-op with tracing off; the
     /// `trace_on` bool keeps the disabled path to a single branch).
+    /// Boundary capture for the crash-point collector piggybacks here —
+    /// independent of `trace_on`, so explorer runs need no live tracer.
     #[inline]
     pub(super) fn trace(&mut self, rec: TraceRecord) {
+        if let Some(col) = self.collector.as_mut() {
+            if let Some(kind) = BoundaryKind::of(&rec) {
+                col.note_boundary(self.now.raw(), kind);
+            }
+        }
         if self.trace_on {
             self.tracer.record(self.now, rec);
+        }
+    }
+
+    /// Digest the masked mutation counters of the crash-relevant state
+    /// components. Within one deterministic run, equal digests imply an
+    /// identical mutation prefix of every masked component — the
+    /// crash-equivalence key of the explorer (see [`super::collect`]).
+    pub(super) fn state_key(&self, mask: KeyMask) -> u64 {
+        let mut h = FNV_OFFSET;
+        if mask.journal {
+            h = fnv1a_u64(h, self.journal.version());
+        }
+        if mask.deps {
+            h = fnv1a_u64(h, self.deps.version());
+        }
+        if mask.nvm {
+            h = fnv1a_u64(h, self.nvm.version());
+        }
+        if mask.rt {
+            for mc in &self.mcs {
+                h = fnv1a_u64(h, mc.rt().version());
+            }
+        }
+        if mask.pb {
+            for c in &self.cores {
+                h = fnv1a_u64(h, c.pb.version());
+            }
+        }
+        h
+    }
+
+    /// Record the current crash-state digest on the collector timeline
+    /// (no-op without a collector).
+    pub(super) fn note_crash_key<M: PersistencyModel + ?Sized>(&mut self, m: &M) {
+        let key = self.state_key(m.crash_key_mask());
+        let now = self.now.raw();
+        if let Some(col) = self.collector.as_mut() {
+            col.note_key(now, key);
         }
     }
 

@@ -54,14 +54,17 @@
 
 mod asap;
 mod baseline;
+mod collect;
 mod eadr_bbb;
 mod engine;
 mod flows;
 mod hops;
 mod model;
 
+pub use collect::{BoundaryKind, CrashPoints, KeyMask};
+
 use crate::ops::ThreadProgram;
-use crate::oracle::{self, CrashReport};
+use crate::oracle::{self, CrashReport, OracleError};
 use asap_pm_mem::{NvmImage, PmSpace};
 use asap_sim_core::{
     Cycle, Flavor, ModelKind, QueueKind, Sampler, SimConfig, Stats, TraceRecord, Tracer,
@@ -115,6 +118,7 @@ pub struct SimBuilder {
     tracer: Option<Box<dyn Tracer>>,
     sample: Option<(Cycle, Box<dyn Write + Send>)>,
     queue: Option<QueueKind>,
+    collect: bool,
 }
 
 impl SimBuilder {
@@ -130,6 +134,7 @@ impl SimBuilder {
             tracer: None,
             sample: None,
             queue: None,
+            collect: false,
         }
     }
 
@@ -166,6 +171,16 @@ impl SimBuilder {
     /// timing is byte-identical with or without one.
     pub fn tracer(mut self, t: Box<dyn Tracer>) -> SimBuilder {
         self.tracer = Some(t);
+        self
+    }
+
+    /// Attach a crash-point collector ([`CrashPoints`]): the run records
+    /// every persistency boundary plus the crash-state digest timeline
+    /// that the crash-space explorer buckets by (see
+    /// [`Sim::take_crash_points`]). Observes only — simulated behaviour
+    /// is identical with or without a collector.
+    pub fn collect_crash_points(mut self) -> SimBuilder {
+        self.collect = true;
         self
     }
 
@@ -216,6 +231,12 @@ impl SimBuilder {
             // The first sample lands one interval in; unsampled runs
             // never see a Sample event at all.
             engine.schedule(every, Event::Sample);
+        }
+        if self.collect {
+            engine.collector = Some(Box::new(CrashPoints::new()));
+            // Seed the timeline with the pre-run state so a crash at
+            // cycle 0 (before any event) resolves to a key.
+            engine.note_crash_key(&model);
         }
         Sim {
             engine,
@@ -408,18 +429,22 @@ impl Sim {
     /// (model hook), ADR drains the WPQs (already reflected in the NVM
     /// image) and the undo records write back (§V-E), then the recovered
     /// image is checked against the write journal and dependency DAG
-    /// (§VI). Requires [`SimBuilder::with_journal`].
-    pub fn crash_and_check(&mut self) -> CrashReport {
-        assert!(
-            self.engine.journal.is_enabled(),
-            "crash checking requires SimBuilder::with_journal()"
-        );
+    /// (§VI).
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError::JournalDisabled`] if the simulator was built
+    /// without [`SimBuilder::with_journal`].
+    pub fn crash_and_check(&mut self) -> Result<CrashReport, OracleError> {
+        if !self.engine.journal.is_enabled() {
+            return Err(OracleError::JournalDisabled);
+        }
         self.engine.crashed = true;
         self.engine.trace(TraceRecord::Crash);
         if self.model.on_crash(&mut self.engine) {
             // The whole hierarchy is durable: trivially consistent.
             self.engine.trace(TraceRecord::Recovery { undo_applied: 0 });
-            return CrashReport::default();
+            return Ok(CrashReport::default());
         }
         let mut undone = 0;
         for mc in &mut self.engine.mcs {
@@ -430,13 +455,101 @@ impl Sim {
         });
         let mut report = oracle::check(&self.engine.journal, &self.engine.deps, &self.engine.nvm);
         report.undo_records_applied = undone;
-        report
+        Ok(report)
     }
 
     /// Crash at an arbitrary instant: run until `at`, then crash.
-    pub fn crash_at(&mut self, at: Cycle) -> CrashReport {
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError::JournalDisabled`] if the simulator was built
+    /// without [`SimBuilder::with_journal`].
+    pub fn crash_at(&mut self, at: Cycle) -> Result<CrashReport, OracleError> {
         self.run_for(at);
         self.crash_and_check()
+    }
+
+    /// Non-destructive crash check: like [`Sim::crash_and_check`] but
+    /// recovery runs on a *clone* of the NVM image (battery drains via
+    /// [`model preview hooks`](model::PersistencyModel::on_crash_preview),
+    /// recovery-table undo via cloned tables), leaving the simulation
+    /// able to keep running. The crash-space explorer calls this at
+    /// every surviving crash point of a single re-run; parity with the
+    /// destructive path is pinned by `crash_check_now_parity` tests.
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError::JournalDisabled`] if the simulator was built
+    /// without [`SimBuilder::with_journal`].
+    pub fn crash_check_now(&self) -> Result<CrashReport, OracleError> {
+        if !self.engine.journal.is_enabled() {
+            return Err(OracleError::JournalDisabled);
+        }
+        let mut nvm = self.engine.nvm.clone();
+        if self.model.on_crash_preview(&self.engine, &mut nvm) {
+            return Ok(CrashReport::default());
+        }
+        let mut undone = 0;
+        for mc in &self.engine.mcs {
+            undone += mc.crash_preview(&mut nvm);
+        }
+        let mut report = oracle::check(&self.engine.journal, &self.engine.deps, &nvm);
+        report.undo_records_applied = undone;
+        Ok(report)
+    }
+
+    /// The recovered NVM image a crash *now* would leave behind, plus
+    /// the number of undo records recovery would apply — computed
+    /// non-destructively like [`Sim::crash_check_now`]. This is the
+    /// explorer's ground truth for crash-state equivalence: two cycles
+    /// with equal [`Sim::crash_state_key`] must yield equal images.
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError::JournalDisabled`] if the simulator was built
+    /// without [`SimBuilder::with_journal`].
+    pub fn recovered_preview(&self) -> Result<(NvmImage, usize), OracleError> {
+        if !self.engine.journal.is_enabled() {
+            return Err(OracleError::JournalDisabled);
+        }
+        let mut nvm = self.engine.nvm.clone();
+        let mut undone = 0;
+        if !self.model.on_crash_preview(&self.engine, &mut nvm) {
+            for mc in &self.engine.mcs {
+                undone += mc.crash_preview(&mut nvm);
+            }
+        }
+        Ok((nvm, undone))
+    }
+
+    /// The crash-state digest at the current instant, under this model's
+    /// [`KeyMask`]. Equal digests within one deterministic run imply
+    /// byte-identical recovered images and oracle reports (pinned by the
+    /// `equal_keys_equal_recovery` property test).
+    pub fn crash_state_key(&self) -> u64 {
+        self.engine.state_key(self.model.crash_key_mask())
+    }
+
+    /// Detach the crash-point collector (if one was attached via
+    /// [`SimBuilder::collect_crash_points`]), stamping the run's final
+    /// cycle into [`CrashPoints::end_cycle`].
+    pub fn take_crash_points(&mut self) -> Option<CrashPoints> {
+        let mut cp = self.engine.collector.take()?;
+        cp.end_cycle = self.engine.now.raw();
+        Some(*cp)
+    }
+
+    /// Fault injection for explorer self-tests: every `every`-th undo
+    /// record the recovery tables *should* create for a speculative
+    /// persist is silently dropped (`0` disables). The write still
+    /// reaches NVM unprotected, so a crash while its epoch is
+    /// uncommitted recovers an inconsistent image — the oracle must
+    /// flag it (Theorem 2 violation). Deliberately not part of
+    /// [`SimConfig`]: faults must not perturb the config digest.
+    pub fn inject_undo_drop(&mut self, every: u64) {
+        for mc in &mut self.engine.mcs {
+            mc.set_drop_undo_every(every);
+        }
     }
 }
 
@@ -604,7 +717,7 @@ mod tests {
                 .with_journal()
                 .queue_kind(qk)
                 .build();
-            let report = sim.crash_at(Cycle(400));
+            let report = sim.crash_at(Cycle(400)).expect("journal enabled");
             (
                 format!("{report:?}"),
                 sim.now(),

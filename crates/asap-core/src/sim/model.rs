@@ -12,9 +12,10 @@
 //! never branches on [`ModelKind`], so adding a design means adding an
 //! implementation file and a registry entry, not editing the machine.
 
+use super::collect::KeyMask;
 use super::engine::Engine;
 use crate::ops::MemOp;
-use asap_pm_mem::{LineSnapshot, WriteSeq};
+use asap_pm_mem::{LineSnapshot, NvmImage, WriteSeq};
 use asap_sim_core::{EpochId, LineAddr, ModelKind, ThreadId};
 
 /// A store leaving the core, after coherence and epoch assignment but
@@ -141,6 +142,23 @@ pub(super) trait PersistencyModel {
     /// hierarchy is durable, so recovery is trivially consistent).
     fn on_crash(&mut self, _eng: &mut Engine) -> bool {
         false
+    }
+
+    /// Non-destructive twin of [`PersistencyModel::on_crash`]: apply the
+    /// same battery-backed drains to `nvm` (a clone of the live image)
+    /// without mutating engine or model state, and return the same
+    /// skip-oracle verdict. Must stay byte-for-byte consistent with
+    /// `on_crash` — `Sim::crash_check_now` is parity-tested against
+    /// `Sim::crash_and_check` on every model.
+    fn on_crash_preview(&self, _eng: &Engine, _nvm: &mut NvmImage) -> bool {
+        false
+    }
+
+    /// Which state components this design's crash path actually reads —
+    /// the mask over the engine's mutation counters that defines crash
+    /// equivalence for the explorer (see [`KeyMask`]).
+    fn crash_key_mask(&self) -> KeyMask {
+        KeyMask::tracked()
     }
 
     /// Whether thread `t` is in conservative-flush fallback (deadlock
@@ -309,6 +327,16 @@ impl PersistencyModel for ModelDispatch {
     #[inline]
     fn on_crash(&mut self, eng: &mut Engine) -> bool {
         each_model!(self, m => m.on_crash(eng))
+    }
+
+    #[inline]
+    fn on_crash_preview(&self, eng: &Engine, nvm: &mut NvmImage) -> bool {
+        each_model!(self, m => m.on_crash_preview(eng, nvm))
+    }
+
+    #[inline]
+    fn crash_key_mask(&self) -> KeyMask {
+        each_model!(self, m => m.crash_key_mask())
     }
 
     #[inline]

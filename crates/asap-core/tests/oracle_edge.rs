@@ -2,7 +2,7 @@
 //! before anything ran, crashing without a journal, crashing after
 //! completion, and crashing repeatedly.
 
-use asap_core::{Flavor, ModelKind, SimBuilder, ThreadProgram};
+use asap_core::{Flavor, ModelKind, OracleError, SimBuilder, ThreadProgram};
 use asap_sim_core::{Cycle, SimConfig, ThreadId};
 
 /// Two epochs of stores with proper barriers, then done.
@@ -41,7 +41,7 @@ fn sim(journal: bool) -> asap_core::Sim {
 #[test]
 fn crash_at_cycle_zero_is_trivially_consistent() {
     let mut s = sim(true);
-    let report = s.crash_at(Cycle(0));
+    let report = s.crash_at(Cycle(0)).expect("journal enabled");
     assert!(
         report.is_consistent(),
         "violations: {:?}",
@@ -51,11 +51,22 @@ fn crash_at_cycle_zero_is_trivially_consistent() {
 }
 
 #[test]
-#[should_panic(expected = "crash checking requires")]
-fn crash_without_journal_panics_with_guidance() {
+fn crash_without_journal_is_a_typed_error() {
     let mut s = sim(false);
     s.run_to_completion();
-    s.crash_and_check();
+    let err = s.crash_and_check().expect_err("journal disabled");
+    assert_eq!(err, OracleError::JournalDisabled);
+    // The guidance survives in the Display form.
+    assert!(err.to_string().contains("crash checking requires"));
+    // The non-destructive path reports the same condition.
+    assert_eq!(
+        s.crash_check_now().expect_err("journal disabled"),
+        OracleError::JournalDisabled
+    );
+    assert_eq!(
+        s.recovered_preview().expect_err("journal disabled"),
+        OracleError::JournalDisabled
+    );
 }
 
 #[test]
@@ -71,7 +82,7 @@ fn crash_after_completion_sees_everything_durable() {
     let mut s = sim(true);
     let out = s.run_to_completion();
     assert!(out.all_done);
-    let report = s.crash_and_check();
+    let report = s.crash_and_check().expect("journal enabled");
     assert!(
         report.is_consistent(),
         "violations: {:?}",
@@ -88,12 +99,52 @@ fn crash_after_completion_sees_everything_durable() {
 fn repeated_crash_checks_are_stable() {
     let mut s = sim(true);
     s.run_to_completion();
-    let first = s.crash_and_check();
-    let second = s.crash_and_check();
+    let first = s.crash_and_check().expect("journal enabled");
+    let second = s.crash_and_check().expect("journal enabled");
     assert!(first.is_consistent() && second.is_consistent());
     assert_eq!(first.epochs_visible, second.epochs_visible);
     assert_eq!(first.epochs_committed, second.epochs_committed);
     assert_eq!(first.lines_checked, second.lines_checked);
+}
+
+#[test]
+fn crash_check_now_matches_crash_at_for_every_model() {
+    // The explorer's non-destructive probe must agree exactly with the
+    // destructive one-shot oracle at the same instant, for every model
+    // and several crash cycles.
+    for model in [
+        ModelKind::Baseline,
+        ModelKind::Hops,
+        ModelKind::Asap,
+        ModelKind::Eadr,
+        ModelKind::Bbb,
+    ] {
+        for cycle in [0u64, 80, 150, 400, 100_000] {
+            let build = || {
+                SimBuilder::new(SimConfig::paper(), model, Flavor::Release)
+                    .program(Box::new(TwoEpochs { done: false }))
+                    .program(Box::new(TwoEpochs { done: false }))
+                    .with_journal()
+                    .build()
+            };
+            let destructive = build().crash_at(Cycle(cycle)).expect("journal enabled");
+            let mut probe = build();
+            probe.run_for(Cycle(cycle));
+            let preview = probe.crash_check_now().expect("journal enabled");
+            assert_eq!(
+                preview, destructive,
+                "{model:?} at cycle {cycle}: preview and crash_at disagree"
+            );
+            // The probe is non-destructive: checking again and then
+            // running further must still work and stay consistent.
+            assert_eq!(probe.crash_check_now().expect("journal enabled"), preview);
+            probe.run_to_completion();
+            assert!(probe
+                .crash_check_now()
+                .expect("journal enabled")
+                .is_consistent());
+        }
+    }
 }
 
 #[test]
@@ -110,7 +161,7 @@ fn crash_mid_run_stays_consistent_for_every_model() {
             .program(Box::new(TwoEpochs { done: false }))
             .with_journal()
             .build();
-        let report = s.crash_at(Cycle(150));
+        let report = s.crash_at(Cycle(150)).expect("journal enabled");
         assert!(
             report.is_consistent(),
             "{model:?} violations: {:?}",

@@ -110,7 +110,7 @@ fn crash_after_completion_is_consistent_for_every_model() {
     ] {
         let mut sim = build(model, Flavor::Release, vec![writer(20, 3, 0x20_0000)]);
         sim.run_to_completion();
-        let r = sim.crash_and_check();
+        let r = sim.crash_and_check().expect("journal enabled");
         assert!(r.is_consistent(), "{model}: {:?}", r.violations);
     }
 }
@@ -125,7 +125,7 @@ fn midrun_crashes_are_consistent() {
             Flavor::Release,
             vec![writer(60, 4, 0x30_0000), writer(60, 4, 0x40_0000)],
         );
-        let r = sim.crash_at(Cycle(at));
+        let r = sim.crash_at(Cycle(at)).expect("journal enabled");
         assert!(r.is_consistent(), "crash at {at}: {:?}", r.violations);
     }
 }
@@ -135,7 +135,7 @@ fn midrun_crashes_consistent_for_hops_and_baseline() {
     for model in [ModelKind::Hops, ModelKind::Baseline] {
         for at in [1_000u64, 10_000, 60_000] {
             let mut sim = build(model, Flavor::Release, vec![writer(40, 4, 0x50_0000)]);
-            let r = sim.crash_at(Cycle(at));
+            let r = sim.crash_at(Cycle(at)).expect("journal enabled");
             assert!(
                 r.is_consistent(),
                 "{model} crash at {at}: {:?}",
@@ -266,7 +266,7 @@ fn shared_write_crashes_are_consistent() {
                 locked_sharer(40, 0x1000, 0x90_0000),
             ],
         );
-        let r = sim.crash_at(Cycle(at));
+        let r = sim.crash_at(Cycle(at)).expect("journal enabled");
         assert!(r.is_consistent(), "crash at {at}: {:?}", r.violations);
     }
 }
@@ -305,7 +305,7 @@ fn tiny_rt_forces_nacks_but_run_still_completes() {
         .build();
     let out = sim.run_to_completion();
     assert!(out.all_done, "NACK fallback must preserve forward progress");
-    let r = sim.crash_and_check();
+    let r = sim.crash_and_check().expect("journal enabled");
     assert!(r.is_consistent(), "{:?}", r.violations);
 }
 
@@ -320,7 +320,7 @@ fn tiny_rt_crash_storm_is_consistent() {
             ])
             .with_journal()
             .build();
-        let r = sim.crash_at(Cycle(at));
+        let r = sim.crash_at(Cycle(at)).expect("journal enabled");
         assert!(r.is_consistent(), "crash at {at}: {:?}", r.violations);
     }
 }
@@ -404,7 +404,7 @@ fn bbb_crash_drains_buffers() {
             Flavor::Release,
             vec![writer(60, 4, 0xf8_0000)],
         );
-        let r = sim.crash_at(Cycle(at));
+        let r = sim.crash_at(Cycle(at)).expect("journal enabled");
         assert!(r.is_consistent(), "BBB crash at {at}: {:?}", r.violations);
     }
 }

@@ -35,7 +35,7 @@ fn main() {
             .programs(programs)
             .with_journal()
             .build();
-        sim.crash_at(Cycle(30_000))
+        sim.crash_at(Cycle(30_000)).expect("journal enabled")
     });
 
     // Build one recovered image, bench only the walk.
@@ -50,7 +50,7 @@ fn main() {
         .programs(programs)
         .with_journal()
         .build();
-    let _ = sim.crash_at(Cycle(60_000));
+    let _ = sim.crash_at(Cycle(60_000)).expect("journal enabled");
     b.run("verify_exthash_walk", || {
         recovery::verify_exthash(sim.nvm())
     });

@@ -16,7 +16,7 @@ fn main() {
         .programs(programs)
         .with_journal()
         .build();
-    let report = sim.crash_at(Cycle(15_000));
+    let report = sim.crash_at(Cycle(15_000)).expect("journal enabled");
     println!(
         "consistent={} v={:?}",
         report.is_consistent(),

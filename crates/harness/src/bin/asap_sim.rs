@@ -153,7 +153,10 @@ fn run() -> i32 {
     let mut code = 0;
 
     if let Some(at) = crash_at {
-        let report = sim.crash_at(Cycle(at));
+        let report = sim.crash_at(Cycle(at)).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
         println!("--- crash at {at} cycles ---");
         println!("undo records applied : {}", report.undo_records_applied);
         println!("epochs committed     : {}", report.epochs_committed);

@@ -11,12 +11,13 @@
 //! the text report to stdout; `--json PATH` additionally writes the
 //! machine-readable report (`-` for stdout). Exit status: 1 if any
 //! unwaived error-severity finding remains, or — under
-//! `--deny-warnings`, the CI gate — if *any* unwaived finding remains.
-//! `--no-waivers` disables the built-in waiver table to show the raw
-//! findings.
+//! `--deny-warnings`, the CI gate — if *any* unwaived finding remains
+//! or the stale-waiver audit fires (a waiver this run could have
+//! exercised that matched nothing; see
+//! `asap_analysis::waivers::stale_waivers`). `--no-waivers` disables
+//! the built-in waiver table to show the raw findings.
 
-use asap_analysis::driver::{lint_workload_with, AnalysisParams};
-use asap_analysis::report::LintRun;
+use asap_analysis::driver::{lint_run_with, AnalysisParams};
 use asap_analysis::waivers::BUILTIN_WAIVERS;
 use asap_harness::args::{arg_value as arg, has_flag, parse_arg};
 use asap_sim_core::{Flavor, ModelKind};
@@ -78,12 +79,7 @@ fn main() {
         BUILTIN_WAIVERS
     };
 
-    let run = LintRun {
-        reports: kinds
-            .iter()
-            .map(|&k| lint_workload_with(k, &p, waivers))
-            .collect(),
-    };
+    let run = lint_run_with(&kinds, &p, waivers);
     print!("{}", run.to_text());
     if let Some(path) = arg(&args, "--json") {
         if path == "-" {
@@ -96,7 +92,10 @@ fn main() {
 
     let errors: usize = run.reports.iter().map(|r| r.errors()).sum();
     let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
-    if errors > 0 || (deny_warnings && run.has_findings()) {
+    // Under the CI gate a stale waiver is as fatal as a finding: it no
+    // longer excuses anything and would silently mask the next
+    // regression of its rule.
+    if errors > 0 || (deny_warnings && (run.has_findings() || !run.stale_waivers.is_empty())) {
         std::process::exit(1);
     }
 }

@@ -297,6 +297,21 @@ impl MemController {
         self.rt.crash_drain(nvm)
     }
 
+    /// Non-destructive counterpart of [`MemController::crash`]: apply the
+    /// undo records to `nvm` (normally a *clone* of the live image)
+    /// without consuming this controller's recovery table, so the
+    /// simulation can continue afterwards. Same record order, same
+    /// restores, same return value as `crash`.
+    pub fn crash_preview(&self, nvm: &mut NvmImage) -> usize {
+        self.rt.clone().crash_drain(nvm)
+    }
+
+    /// Fault-injection passthrough to
+    /// [`RecoveryTable::set_drop_undo_every`].
+    pub fn set_drop_undo_every(&mut self, n: u64) {
+        self.rt.set_drop_undo_every(n);
+    }
+
     /// Bytes the ADR drain must flush at power failure: the undo/delay
     /// records (§VII-D: "ASAP requires less than 4KB of data to be
     /// flushed from the recovery tables").

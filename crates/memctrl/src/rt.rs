@@ -139,6 +139,19 @@ pub struct RecoveryTable {
     delay: Vec<DelayRec>,
     capacity: usize,
     max_occupancy: usize,
+    /// Monotonic mutation counter: bumped whenever a record is created,
+    /// updated, or removed. The crash-space explorer keys its pruning
+    /// digest on this (two instants with equal versions hold the exact
+    /// same record set within one deterministic run).
+    version: u64,
+    /// Fault injection: when non-zero, every n-th undo-record creation is
+    /// silently *skipped* while the speculative media write still goes
+    /// through — exactly the Theorem 2 bug class ASAP's recovery table
+    /// exists to prevent. `0` disables. See `Sim::inject_undo_drop`.
+    drop_undo_every: u64,
+    /// Early flushes that reached the undo-creation row (fault-injection
+    /// counter).
+    early_seen: u64,
 }
 
 impl RecoveryTable {
@@ -149,7 +162,24 @@ impl RecoveryTable {
             delay: Vec::new(),
             capacity,
             max_occupancy: 0,
+            version: 0,
+            drop_undo_every: 0,
+            early_seen: 0,
         }
+    }
+
+    /// Monotonic mutation counter (see the field docs): strictly
+    /// increases on every record mutation.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Enable (n > 0) or disable (n = 0) undo-drop fault injection: every
+    /// n-th undo-record creation is skipped while its speculative write
+    /// still hits the media. Deliberately-broken-model fixture for the
+    /// crash-space explorer; never set in normal operation.
+    pub fn set_drop_undo_every(&mut self, n: u64) {
+        self.drop_undo_every = n;
     }
 
     /// Total records currently held.
@@ -233,11 +263,13 @@ impl RecoveryTable {
                 let d = &mut self.delay[pos];
                 d.data = data;
                 d.seq = seq;
+                self.version += 1;
                 return FlushAction::Delayed;
             }
             // Safe flush: the parked value is obsolete; drop it and fall
             // through to normal safe handling.
             self.delay.remove(pos);
+            self.version += 1;
         }
         let undo_pos = self.undo.iter().position(|u| u.idx == idx);
         match (early, undo_pos) {
@@ -267,6 +299,7 @@ impl RecoveryTable {
                     rec.safe.data = data;
                     rec.safe.seq = Some(seq);
                     rec.safe.epoch = Some(epoch);
+                    self.version += 1;
                     FlushAction::UndoUpdated
                 }
             }
@@ -275,14 +308,20 @@ impl RecoveryTable {
                 if self.free_slots() == 0 {
                     return FlushAction::Nacked;
                 }
-                let old = nvm.line(line);
-                self.undo.push(UndoRec {
-                    idx,
-                    line,
-                    safe: old,
-                    creator: epoch,
-                });
-                self.note_occupancy();
+                self.early_seen += 1;
+                let drop_undo = self.drop_undo_every != 0
+                    && self.early_seen.is_multiple_of(self.drop_undo_every);
+                if !drop_undo {
+                    let old = nvm.line(line);
+                    self.undo.push(UndoRec {
+                        idx,
+                        line,
+                        safe: old,
+                        creator: epoch,
+                    });
+                    self.note_occupancy();
+                    self.version += 1;
+                }
                 nvm.persist(line, data, Some(seq), Some(epoch));
                 FlushAction::SpeculativelyPersisted
             }
@@ -301,6 +340,7 @@ impl RecoveryTable {
                     epoch,
                 });
                 self.note_occupancy();
+                self.version += 1;
                 FlushAction::Delayed
             }
         }
@@ -315,6 +355,10 @@ impl RecoveryTable {
         if std::env::var_os("ASAP_WATCH_LINE").is_some() {
             eprintln!("RT commit epoch={epoch}");
         }
+        // Commit messages only reach MCs the epoch flushed early to, so
+        // an unconditional bump can only over-distinguish (sound for the
+        // explorer's pruning digest, never unsound).
+        self.version += 1;
         // Delete undo records belonging to the committing epoch.
         self.undo.retain(|u| u.creator != epoch);
 

@@ -78,6 +78,15 @@ pub struct WriteJournal {
     exec_clock: Vec<u64>,
     /// Latest store per line (generation order); also always maintained.
     last_store: std::collections::HashMap<LineAddr, WriteSeq>,
+    /// Monotonic mutation counter: bumped on every [`record`] and
+    /// [`assign_epoch`]. Within one deterministic run, two instants with
+    /// the same version saw the identical mutation prefix, so the whole
+    /// journal state is identical — the crash-space explorer keys its
+    /// pruning digest on this.
+    ///
+    /// [`record`]: WriteJournal::record
+    /// [`assign_epoch`]: WriteJournal::assign_epoch
+    version: u64,
 }
 
 impl WriteJournal {
@@ -106,6 +115,7 @@ impl WriteJournal {
     pub fn record(&mut self, line: LineAddr, data: LineSnapshot) -> WriteSeq {
         let seq = WriteSeq(self.next_seq);
         self.next_seq += 1;
+        self.version += 1;
         self.executed.push(false);
         self.exec_clock.push(0);
         self.last_store.insert(line, seq);
@@ -124,6 +134,7 @@ impl WriteJournal {
     /// mark it executed. The execution flag is tracked even when payload
     /// retention is disabled.
     pub fn assign_epoch(&mut self, seq: WriteSeq, epoch: EpochId) {
+        self.version += 1;
         if let Some(f) = self.executed.get_mut(seq.0 as usize) {
             *f = true;
         }
@@ -185,6 +196,12 @@ impl WriteJournal {
     /// Total writes recorded (including while disabled).
     pub fn writes_issued(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Monotonic mutation counter (see the field docs): strictly
+    /// increases on every record and epoch assignment.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 }
 

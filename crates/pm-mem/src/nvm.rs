@@ -55,7 +55,7 @@ impl Default for LineRecord {
 /// assert_eq!(nvm.line(line).data[0], 7);
 /// assert_eq!(nvm.line(line).seq, Some(3));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NvmImage {
     /// Probe table: each slot is `EMPTY` or an index into `keys`/`recs`.
     /// Open-addressed (same scheme as `LineTable`/`PmSpace`): `persist`
@@ -72,6 +72,11 @@ pub struct NvmImage {
     /// are zero" check. Indexed like `keys`/`recs`.
     preinit: Vec<bool>,
     writes: u64,
+    /// Monotonic mutation counter: bumped on every `persist`, `restore`
+    /// and `preinit`. Within one deterministic run, equal versions imply
+    /// the identical mutation prefix and hence identical media contents —
+    /// the crash-space explorer keys its pruning digest on this.
+    version: u64,
 }
 
 impl Default for NvmImage {
@@ -83,6 +88,7 @@ impl Default for NvmImage {
             mask: 511,
             preinit: Vec::new(),
             writes: 0,
+            version: 0,
         }
     }
 }
@@ -161,6 +167,7 @@ impl NvmImage {
         epoch: Option<EpochId>,
     ) {
         self.writes += 1;
+        self.version += 1;
         let i = self.lookup_or_insert(line);
         self.recs[i] = LineRecord { data, seq, epoch };
     }
@@ -169,6 +176,7 @@ impl NvmImage {
     /// ownership tag reverts to the one captured when the undo record was
     /// created.
     pub fn restore(&mut self, line: LineAddr, record: LineRecord) {
+        self.version += 1;
         let i = self.lookup_or_insert(line);
         self.recs[i] = record;
     }
@@ -178,6 +186,7 @@ impl NvmImage {
     /// line carries no write tag; [`NvmImage::is_preinit`] marks it for
     /// the consistency oracle.
     pub fn preinit(&mut self, line: LineAddr, data: LineSnapshot) {
+        self.version += 1;
         let i = self.lookup_or_insert(line);
         self.preinit[i] = true;
         self.recs[i] = LineRecord {
@@ -225,6 +234,50 @@ impl NvmImage {
     /// Number of distinct lines present.
     pub fn distinct_lines(&self) -> usize {
         self.keys.len()
+    }
+
+    /// Monotonic mutation counter (see the field docs): strictly
+    /// increases on every persist/restore/preinit.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// FNV-1a digest of the full media contents in first-touch order:
+    /// line addresses, data bytes, ownership tags and preinit marks.
+    /// Lets the crash-space explorer compare recovered images without
+    /// holding both in memory (the mutation `version` is deliberately
+    /// excluded: two images reached by different mutation *histories*
+    /// but identical final contents digest equal).
+    pub fn content_digest(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let step = |h: &mut u64, b: u8| {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(PRIME);
+        };
+        for (i, (line, rec)) in self.keys.iter().zip(&self.recs).enumerate() {
+            for b in line.byte_addr().to_le_bytes() {
+                step(&mut h, b);
+            }
+            for &b in &rec.data {
+                step(&mut h, b);
+            }
+            step(&mut h, rec.seq.is_some() as u8);
+            for b in rec.seq.unwrap_or(0).to_le_bytes() {
+                step(&mut h, b);
+            }
+            step(&mut h, rec.epoch.is_some() as u8);
+            if let Some(e) = rec.epoch {
+                for b in (e.thread.0 as u64).to_le_bytes() {
+                    step(&mut h, b);
+                }
+                for b in e.ts.to_le_bytes() {
+                    step(&mut h, b);
+                }
+            }
+            step(&mut h, self.preinit[i] as u8);
+        }
+        h
     }
 }
 

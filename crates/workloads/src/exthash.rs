@@ -540,7 +540,9 @@ mod tests {
                 .programs(programs)
                 .with_journal()
                 .build();
-            let r = sim.crash_at(asap_sim_core::Cycle(at));
+            let r = sim
+                .crash_at(asap_sim_core::Cycle(at))
+                .expect("journal enabled");
             assert!(r.is_consistent(), "crash at {at}: {:?}", r.violations);
         }
     }

@@ -469,7 +469,7 @@ mod tests {
             .programs(programs)
             .with_journal()
             .build();
-        let oracle = sim.crash_at(Cycle(at));
+        let oracle = sim.crash_at(Cycle(at)).expect("journal enabled");
         assert!(oracle.is_consistent(), "{kind}: {:?}", oracle.violations);
         let verify = verifier_for(kind).expect("structure workload");
         verify(sim.nvm())

@@ -69,7 +69,7 @@ fn main() {
             .with_journal()
             .build();
 
-        let report = sim.crash_at(Cycle(crash_at));
+        let report = sim.crash_at(Cycle(crash_at)).expect("journal enabled");
 
         println!("power failure at {crash_at} cycles:");
         println!("  undo records applied : {}", report.undo_records_applied);

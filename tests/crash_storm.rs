@@ -24,7 +24,7 @@ fn crash_check(w: WorkloadKind, model: ModelKind, flavor: Flavor, at: u64, seed:
         .programs(programs)
         .with_journal()
         .build();
-    let report = sim.crash_at(Cycle(at));
+    let report = sim.crash_at(Cycle(at)).expect("journal enabled");
     assert!(
         report.is_consistent(),
         "{w} under {model}_{flavor} crash at {at}: {:?}",
@@ -98,7 +98,7 @@ fn tiny_recovery_table_crash_storm() {
             .programs(programs)
             .with_journal()
             .build();
-        let report = sim.crash_at(Cycle(at));
+        let report = sim.crash_at(Cycle(at)).expect("journal enabled");
         assert!(
             report.is_consistent(),
             "tiny RT crash at {at}: {:?}",
@@ -125,7 +125,7 @@ fn crash_after_completion_recovers_everything() {
         .with_journal()
         .build();
     sim.run_to_completion();
-    let report = sim.crash_and_check();
+    let report = sim.crash_and_check().expect("journal enabled");
     assert!(report.is_consistent(), "{:?}", report.violations);
     assert_eq!(
         report.undo_records_applied, 0,

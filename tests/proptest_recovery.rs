@@ -150,7 +150,7 @@ fn run_crash(
         b = b.program(Box::new(RandomProgram::new(instrs.clone(), i)));
     }
     let mut sim = b.build();
-    let report = sim.crash_at(Cycle(crash_at));
+    let report = sim.crash_at(Cycle(crash_at)).expect("journal enabled");
     assert!(
         report.is_consistent(),
         "case {case}: {model}_{flavor} rt={rt_entries} crash@{crash_at}: {:?}",
