@@ -457,7 +457,7 @@ mod tests {
         });
         // Under release persistency the release closes the epoch: clean.
         let f = lint_streams(
-            &[stream.clone()],
+            std::slice::from_ref(&stream),
             &LintOptions {
                 flavor: Flavor::Release,
             },

@@ -25,7 +25,7 @@
 //! the next call.
 
 use asap_pm_mem::{LineSnapshot, PmSpace, SnapshotPool, WriteJournal, WriteSeq};
-use asap_sim_core::{LineAddr, ThreadId};
+use asap_sim_core::{Cycle, LineAddr, ThreadId};
 
 /// One timed micro-operation produced by a workload burst.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,6 +89,15 @@ pub enum MemOp {
         /// Cycles of computation.
         cycles: u64,
     },
+    /// Client idle time: the thread deliberately does nothing for the
+    /// given number of cycles. Unlike [`MemOp::Compute`], idle time is
+    /// *not* scaled by `compute_scale` — it models wall-clock waiting
+    /// (an open-loop driver sleeping until the next request's arrival
+    /// instant), not CPU work.
+    Idle {
+        /// Cycles to remain idle.
+        cycles: u64,
+    },
 }
 
 impl MemOp {
@@ -135,6 +144,10 @@ pub struct BurstCtx<'a> {
     ops: Vec<MemOp>,
     ops_completed: u64,
     preinit_lines: Vec<LineAddr>,
+    /// Simulated time at which this burst is being generated (== the
+    /// instant the thread's previous burst finished executing). Standalone
+    /// contexts default to zero; the engine stamps the real clock.
+    now: Cycle,
 }
 
 impl<'a> BurstCtx<'a> {
@@ -148,6 +161,7 @@ impl<'a> BurstCtx<'a> {
             ops: Vec::new(),
             ops_completed: 0,
             preinit_lines: Vec::new(),
+            now: Cycle::ZERO,
         }
     }
 
@@ -165,6 +179,7 @@ impl<'a> BurstCtx<'a> {
             ops: Vec::new(),
             ops_completed: 0,
             preinit_lines: Vec::new(),
+            now: Cycle::ZERO,
         }
     }
 
@@ -189,7 +204,22 @@ impl<'a> BurstCtx<'a> {
             ops,
             ops_completed: 0,
             preinit_lines,
+            now: Cycle::ZERO,
         }
+    }
+
+    /// Stamp the simulated time this burst is generated at (engine only;
+    /// standalone contexts keep zero).
+    pub fn set_now(&mut self, now: Cycle) {
+        self.now = now;
+    }
+
+    /// The simulated time at which this burst is being generated — the
+    /// instant the thread's previous burst finished executing. Open-loop
+    /// drivers read this to compare the clock against request arrival
+    /// instants and to timestamp completions.
+    pub fn now(&self) -> Cycle {
+        self.now
     }
 
     /// Functional read + timed load.
@@ -331,6 +361,16 @@ impl<'a> BurstCtx<'a> {
     pub fn compute(&mut self, cycles: u64) {
         if cycles > 0 {
             self.ops.push(MemOp::Compute { cycles });
+        }
+    }
+
+    /// Emit deliberate idle time (unscaled; see [`MemOp::Idle`]). An
+    /// open-loop driver uses this to sleep exactly until the next
+    /// arrival instant rather than spinning on the engine's retry
+    /// backoff.
+    pub fn idle(&mut self, cycles: u64) {
+        if cycles > 0 {
+            self.ops.push(MemOp::Idle { cycles });
         }
     }
 
@@ -536,6 +576,27 @@ mod tests {
         assert_eq!(ops[1].line(), Some(LineAddr::containing(0x600)));
         // No functional effect and no journal entry beyond the store's.
         assert_eq!(j.entries().len(), 1);
+    }
+
+    #[test]
+    fn idle_emits_unscaled_wait_op() {
+        let (mut pm, mut j) = ctx_fixture();
+        let mut ctx = BurstCtx::new(&mut pm, &mut j);
+        ctx.idle(640);
+        ctx.idle(0); // dropped, like compute(0)
+        let (ops, _, _) = ctx.into_parts();
+        assert_eq!(ops, vec![MemOp::Idle { cycles: 640 }]);
+        assert_eq!(ops[0].line(), None);
+        assert!(!ops[0].is_store());
+    }
+
+    #[test]
+    fn ctx_now_defaults_to_zero_and_is_stampable() {
+        let (mut pm, mut j) = ctx_fixture();
+        let mut ctx = BurstCtx::new(&mut pm, &mut j);
+        assert_eq!(ctx.now(), Cycle::ZERO);
+        ctx.set_now(Cycle(1234));
+        assert_eq!(ctx.now(), Cycle(1234));
     }
 
     #[test]

@@ -55,6 +55,10 @@ impl Engine {
             std::mem::take(&mut self.burst_ops_scratch),
             std::mem::take(&mut self.preinit_scratch),
         );
+        // Generation instants are simulated completion times of the
+        // previous burst; expose the clock so open-loop programs can
+        // compare it against request arrival timestamps.
+        ctx.set_now(self.now);
         let status = self.programs[t].next_burst(ThreadId(t), &mut ctx);
         let (mut ops, completed, preinit) = ctx.into_parts();
         for &line in &preinit {
@@ -87,6 +91,12 @@ impl Engine {
         match op {
             MemOp::Compute { cycles } => {
                 self.finish_op(t, Cycle(cycles * self.cfg.compute_scale));
+            }
+            MemOp::Idle { cycles } => {
+                // Deliberate client idle time: unscaled wall-clock wait
+                // (compute_scale models CPU speed, not the passage of
+                // simulated time an open-loop driver sleeps through).
+                self.finish_op(t, Cycle(cycles));
             }
             MemOp::Load { addr } => {
                 let lat = self.do_load(m, t, addr, false);

@@ -63,9 +63,9 @@ fn usage() -> ! {
     std::process::exit(0)
 }
 
-fn parse_list<T: std::str::FromStr>(raw: &str, flag: &str, all: &[T]) -> Vec<T>
+fn parse_list<T>(raw: &str, flag: &str, all: &[T]) -> Vec<T>
 where
-    T: Copy,
+    T: std::str::FromStr + Copy,
 {
     if raw == "all" {
         return all.to_vec();
@@ -203,17 +203,19 @@ fn main() {
         usage();
     }
 
-    let mut p = ExploreParams::default();
-    p.workloads = parse_list(
-        arg(&argv, "--workloads").as_deref().unwrap_or("queue,cceh"),
-        "--workloads",
-        &WorkloadKind::all(),
-    );
-    p.models = parse_list(
-        arg(&argv, "--models").as_deref().unwrap_or("all"),
-        "--models",
-        &ModelKind::all(),
-    );
+    let mut p = ExploreParams {
+        workloads: parse_list(
+            arg(&argv, "--workloads").as_deref().unwrap_or("queue,cceh"),
+            "--workloads",
+            &WorkloadKind::all(),
+        ),
+        models: parse_list(
+            arg(&argv, "--models").as_deref().unwrap_or("all"),
+            "--models",
+            &ModelKind::all(),
+        ),
+        ..ExploreParams::default()
+    };
     if let Some(v) = arg(&argv, "--flavor") {
         p.flavor = v.parse::<Flavor>().unwrap_or_else(|_| {
             eprintln!("error: invalid value '{v}' for --flavor; known: ep|rp");

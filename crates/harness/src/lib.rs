@@ -53,6 +53,7 @@ pub mod hwcost;
 pub mod pool;
 mod report;
 mod runner;
+pub mod traffic;
 
 pub use report::Table;
 pub use runner::{

@@ -464,7 +464,7 @@ mod tests {
             let t = x % 97;
             q.push(Cycle(t), i);
             pushed.push((t, i));
-            if x % 3 == 0 {
+            if x.is_multiple_of(3) {
                 q.pop();
             }
         }
@@ -554,7 +554,7 @@ mod tests {
                 let t = x % 53; // dense cycle range: many same-cycle ties
                 heap.push(Cycle(t), i);
                 sharded.push((x >> 32) as usize % shards, Cycle(t), i);
-                if x % 3 == 0 {
+                if x.is_multiple_of(3) {
                     popped_heap.push(heap.pop());
                     popped_sharded.push(sharded.pop());
                 }

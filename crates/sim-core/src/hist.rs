@@ -1,0 +1,382 @@
+//! Constant-memory streaming histograms for cycle-scale latencies.
+//!
+//! The dense [`crate::Histogram`] allocates one bucket per distinct
+//! value — fine for buffer occupancies (≤ 64), fatal for request
+//! latencies measured in cycles (a p99.9 of 2 M cycles would allocate a
+//! 16 MB counts vector *per series*). [`LogHistogram`] is the
+//! HDR-histogram-style fix: exact unit buckets below 64, then 64
+//! sub-buckets per power-of-two octave, for a fixed ~30 KB footprint
+//! covering the full `u64` range with bounded relative error.
+//!
+//! [`LatencySplit`] bundles three of them to carry the per-request
+//! queueing-delay vs service-time decomposition used by the open-loop
+//! traffic frontend.
+
+/// log2 of the sub-bucket count per octave (and of the linear range).
+const SUB_BITS: u32 = 6;
+/// Sub-buckets per octave; also the size of the exact linear range.
+const SUB: usize = 1 << SUB_BITS;
+/// Octaves above the linear range: values with a top bit in
+/// `SUB_BITS..=63`.
+const OCTAVES: usize = 64 - SUB_BITS as usize;
+/// Total bucket count (fixed at construction; never grows).
+const NUM_BUCKETS: usize = SUB + OCTAVES * SUB;
+
+/// A log-bucketed streaming histogram over `u64` samples with constant
+/// memory and bounded relative error.
+///
+/// Values below 64 are counted exactly (unit buckets). Above that, each
+/// power-of-two octave is split into 64 sub-buckets, so a bucket
+/// spanning `[lo, lo + w)` always has `w ≤ lo / 64`. Percentiles report
+/// the bucket midpoint, making the worst-case relative error
+/// `1 / 128` (< 0.8%) — see [`LogHistogram::REL_ERROR`]. Memory is
+/// `NUM_BUCKETS` (= 3776) counters regardless of sample magnitude or
+/// stream length.
+///
+/// Min, max, count and sum are tracked exactly; only percentiles are
+/// approximate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// Guaranteed worst-case relative error of [`LogHistogram::percentile`]
+    /// versus the exact sample percentile: half of one sub-bucket width.
+    pub const REL_ERROR: f64 = 1.0 / (2 * SUB) as f64;
+
+    /// Create an empty histogram (allocates its full fixed footprint).
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            counts: vec![0; NUM_BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index of `value`.
+    fn bucket_of(value: u64) -> usize {
+        if value < SUB as u64 {
+            value as usize
+        } else {
+            // Top set bit position; >= SUB_BITS here.
+            let top = 63 - value.leading_zeros();
+            let shift = top - SUB_BITS;
+            let sub = (value >> shift) as usize - SUB;
+            SUB + (shift as usize) * SUB + sub
+        }
+    }
+
+    /// Inclusive `[lo, hi]` value range of bucket `b`.
+    fn bucket_bounds(b: usize) -> (u64, u64) {
+        if b < SUB {
+            (b as u64, b as u64)
+        } else {
+            let k = b - SUB;
+            let shift = (k / SUB) as u32;
+            let m = (k % SUB) as u64;
+            let lo = (SUB as u64 + m) << shift;
+            // Parenthesized so the final bucket (hi == u64::MAX) does
+            // not overflow on the intermediate `lo + width`.
+            let hi = lo + ((1u64 << shift) - 1);
+            (lo, hi)
+        }
+    }
+
+    /// Representative value reported for bucket `b` (its midpoint).
+    fn bucket_mid(b: usize) -> u64 {
+        let (lo, hi) = Self::bucket_bounds(b);
+        lo + (hi - lo) / 2
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` occurrences of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[Self::bucket_of(value)] += n;
+        self.total += n;
+        self.sum += value as u128 * n as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact arithmetic mean of the samples, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Exact smallest recorded value, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest recorded value, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `p`-th percentile (0.0..=100.0), or 0 if empty.
+    ///
+    /// Uses the same rank convention as the dense
+    /// [`crate::Histogram`]: `rank = ceil(p/100 · count)`, clamped to at
+    /// least 1. The returned value is the midpoint of the bucket holding
+    /// the ranked sample, within [`LogHistogram::REL_ERROR`] of the
+    /// exact sample (and exact for samples below 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=100.0`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Clamp to the exact extremes so p0/p100 are honest.
+                return Self::bucket_mid(b).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (b, &c) in other.counts.iter().enumerate() {
+            self.counts[b] += c;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Per-request latency decomposition: a request's total sojourn time is
+/// the queueing delay (arrival → service start) plus the service time
+/// (service start → completion). Three [`LogHistogram`]s, one per
+/// component, recorded together so the split always sums consistently.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LatencySplit {
+    /// Total sojourn time (arrival → completion).
+    pub total: LogHistogram,
+    /// Queueing delay (arrival → service start).
+    pub queueing: LogHistogram,
+    /// Service time (service start → completion).
+    pub service: LogHistogram,
+}
+
+impl LatencySplit {
+    /// Create an empty split.
+    pub fn new() -> LatencySplit {
+        LatencySplit::default()
+    }
+
+    /// Record one request that waited `queueing` cycles and was then
+    /// served in `service` cycles (total = queueing + service).
+    pub fn record(&mut self, queueing: u64, service: u64) {
+        self.total.record(queueing + service);
+        self.queueing.record(queueing);
+        self.service.record(service);
+    }
+
+    /// Number of requests recorded.
+    pub fn count(&self) -> u64 {
+        self.total.count()
+    }
+
+    /// Merge another split into this one.
+    pub fn merge(&mut self, other: &LatencySplit) {
+        self.total.merge(&other.total);
+        self.queueing.merge(&other.queueing);
+        self.service.merge(&other.service);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 64);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 63);
+        // Every percentile of a 0..64 uniform set is the exact value.
+        for v in 0..64u64 {
+            let p = (v + 1) as f64 / 64.0 * 100.0;
+            assert_eq!(h.percentile(p), v, "p{p}");
+        }
+    }
+
+    #[test]
+    fn bucket_round_trip() {
+        // Every bucket's bounds map back to that bucket, bounds tile the
+        // line with no gaps, and the midpoint is inside.
+        let mut expect_lo = 0u64;
+        for b in 0..NUM_BUCKETS {
+            let (lo, hi) = LogHistogram::bucket_bounds(b);
+            assert_eq!(lo, expect_lo, "gap before bucket {b}");
+            assert!(hi >= lo);
+            assert_eq!(LogHistogram::bucket_of(lo), b);
+            assert_eq!(LogHistogram::bucket_of(hi), b);
+            let mid = LogHistogram::bucket_mid(b);
+            assert!((lo..=hi).contains(&mid));
+            expect_lo = hi.wrapping_add(1);
+        }
+        // The last bucket ends at u64::MAX.
+        assert_eq!(expect_lo, 0, "buckets must cover the full u64 range");
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_bound_holds() {
+        // A recorded value's reported bucket midpoint is within
+        // REL_ERROR of the value, for magnitudes across many octaves.
+        for &v in &[
+            1u64,
+            63,
+            64,
+            65,
+            100,
+            1_000,
+            4_097,
+            65_535,
+            1_000_000,
+            123_456_789,
+            u64::MAX / 3,
+        ] {
+            let mut h = LogHistogram::new();
+            h.record(v);
+            let got = h.percentile(50.0);
+            let err = got.abs_diff(v) as f64;
+            assert!(
+                err <= v as f64 * LogHistogram::REL_ERROR + 0.5,
+                "v={v} got={got} err={err}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_min_max_are_exact() {
+        let mut h = LogHistogram::new();
+        h.record(1_000_003);
+        h.record(17);
+        h.record_n(99, 2);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 17);
+        assert_eq!(h.max(), 1_000_003);
+        let exact = (1_000_003u64 + 17 + 99 + 99) as f64 / 4.0;
+        assert!((h.mean() - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_validates_range() {
+        LogHistogram::new().percentile(-1.0);
+    }
+
+    #[test]
+    fn merge_matches_combined_stream() {
+        let vals_a = [3u64, 70, 900, 1_000_000];
+        let vals_b = [5u64, 70, 44_000];
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut both = LogHistogram::new();
+        for &v in &vals_a {
+            a.record(v);
+            both.record(v);
+        }
+        for &v in &vals_b {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn record_n_zero_is_noop() {
+        let mut h = LogHistogram::new();
+        h.record_n(123, 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn extremes_clamp_to_exact_min_max() {
+        let mut h = LogHistogram::new();
+        h.record(1_000_000);
+        // A single sample answers every percentile within the bound, and
+        // p0/p100-style queries never leave the observed range.
+        assert!(h.percentile(0.0) >= h.min());
+        assert!(h.percentile(100.0) <= h.max());
+    }
+
+    #[test]
+    fn latency_split_records_consistently() {
+        let mut s = LatencySplit::new();
+        s.record(100, 250);
+        s.record(0, 4_000);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.total.max(), 4_000);
+        assert_eq!(s.queueing.max(), 100);
+        assert_eq!(s.service.max(), 4_000);
+        let mut t = LatencySplit::new();
+        t.record(7, 7);
+        s.merge(&t);
+        assert_eq!(s.count(), 3);
+    }
+}

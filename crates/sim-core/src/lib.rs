@@ -13,6 +13,9 @@
 //! * [`Stats`] — simulation counters using the exact stat names from
 //!   Table VI of the paper's artifact appendix, plus occupancy
 //!   histograms used by Figures 11 and 12.
+//! * [`LogHistogram`] / [`LatencySplit`] — constant-memory HDR-style
+//!   latency reducers with bounded relative error, for the open-loop
+//!   traffic frontend's percentile tables.
 //! * [`DetRng`] — a seeded deterministic random number generator so every
 //!   experiment is exactly reproducible.
 //! * [`LineTable`] — per-run address interning ([`LineAddr`] →
@@ -43,6 +46,7 @@
 
 mod config;
 mod events;
+mod hist;
 mod ids;
 mod intern;
 mod rng;
@@ -53,6 +57,7 @@ mod trace;
 
 pub use config::{ConfigError, Flavor, ModelKind, SimConfig, SimConfigBuilder};
 pub use events::{EventQueue, QueueKind, ShardedEventQueue};
+pub use hist::{LatencySplit, LogHistogram};
 pub use ids::{EpochId, LineAddr, McId, ThreadId, CACHE_LINE_BYTES, CACHE_LINE_SHIFT};
 pub use intern::{mix64, LineIdx, LineTable};
 pub use rng::DetRng;

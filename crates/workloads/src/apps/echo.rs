@@ -13,12 +13,12 @@ use asap_core::{BurstCtx, BurstStatus, ThreadProgram};
 use asap_sim_core::{DetRng, ThreadId};
 
 const LOCAL_LOG_REGION: u64 = STATIC_BASE + 0x0a00_0000;
-const MASTER_REGION: u64 = STATIC_BASE + 0x0b00_0000;
-const MASTER_LOCK: u64 = GLOBALS_BASE + 0x940; // own line: ticket + serving words
+pub(crate) const MASTER_REGION: u64 = STATIC_BASE + 0x0b00_0000;
+pub(crate) const MASTER_LOCK: u64 = GLOBALS_BASE + 0x940; // own line: ticket + serving words
 const ECHO_INIT_FLAG: u64 = GLOBALS_BASE + 0x908;
 
 const LOG_SLOTS: u64 = 4096;
-const MASTER_SLOTS: u64 = 1 << 12;
+pub(crate) const MASTER_SLOTS: u64 = 1 << 12;
 /// Local ops between master merges.
 pub const BATCH: u64 = 8;
 
@@ -56,7 +56,10 @@ impl Echo {
         LOCAL_LOG_REGION + self.tid as u64 * LOG_SLOTS * 128 + (self.log_pos % LOG_SLOTS) * 128
     }
 
-    fn local_put(&mut self, ctx: &mut BurstCtx<'_>, key: u64) {
+    /// Append one update to the thread-local persistent log (the batch
+    /// key is remembered for the next master merge). Shared with the
+    /// open-loop traffic frontend.
+    pub(crate) fn local_put(&mut self, ctx: &mut BurstCtx<'_>, key: u64) {
         let slot = self.log_slot();
         self.log_pos += 1;
         ctx.store_u64(slot, key);
@@ -71,7 +74,9 @@ impl Echo {
         self.batch_keys.push(key);
     }
 
-    fn master_merge(&mut self, ctx: &mut BurstCtx<'_>) {
+    /// Merge the batched keys into the shared master index (caller holds
+    /// the master lock). Shared with the open-loop traffic frontend.
+    pub(crate) fn master_merge(&mut self, ctx: &mut BurstCtx<'_>) {
         for &key in &self.batch_keys {
             let slot = MASTER_REGION + (fnv1a(key) % MASTER_SLOTS) * 64;
             ctx.store_u64(slot, key);

@@ -60,7 +60,10 @@ impl Memcached {
         }
     }
 
-    fn set(&mut self, ctx: &mut BurstCtx<'_>, key: u64) {
+    /// SET critical section (caller holds the bucket lock): allocate and
+    /// persist the item out of place, `ofence`, swing the chain head,
+    /// `ofence`. Shared with the open-loop traffic frontend.
+    pub(crate) fn set(&mut self, ctx: &mut BurstCtx<'_>, key: u64) {
         let bucket = bucket_addr(key);
         // Item: [key, next, value...] — sized by value_bytes.
         let item_bytes = 64 + self.params.value_bytes as u64;
@@ -77,7 +80,9 @@ impl Memcached {
         ctx.ofence();
     }
 
-    fn get(&mut self, ctx: &mut BurstCtx<'_>, key: u64) {
+    /// Lock-free GET: walk the bucket chain. Shared with the open-loop
+    /// traffic frontend.
+    pub(crate) fn get(&mut self, ctx: &mut BurstCtx<'_>, key: u64) {
         let bucket = bucket_addr(key);
         let mut item = ctx.load_u64(bucket);
         let mut hops = 0;

@@ -7,7 +7,7 @@
 //! the classic WAL epoch chain. Partitioned tables mean almost no
 //! cross-thread dependencies, matching Figure 2.
 
-use crate::common::{init_once, WorkloadParams, GLOBALS_BASE, STATIC_BASE};
+use crate::common::{fnv1a, init_once, WorkloadParams, GLOBALS_BASE, STATIC_BASE};
 use asap_core::{BurstCtx, BurstStatus, ThreadProgram};
 use asap_sim_core::{DetRng, ThreadId};
 
@@ -84,6 +84,56 @@ impl Nstore {
         ctx.store_u64(slot + 8, 0xc0_4417); // committed tag
         ctx.ofence();
         ctx.dfence();
+    }
+
+    /// One WAL transaction whose row set is derived from `key` instead
+    /// of the thread RNG: the open-loop traffic frontend replays request
+    /// streams, so the same trace must touch the same rows regardless of
+    /// arrival process or worker count. Same epoch chain as
+    /// [`Nstore::txn`]: log record, `ofence`, 1–3 row updates, `ofence`,
+    /// commit marker, `ofence`, `dfence`.
+    pub(crate) fn serve_update(&mut self, ctx: &mut BurstCtx<'_>, key: u64) {
+        let slot = self.log_slot();
+        self.log_pos += 1;
+        ctx.store_u64(slot, self.log_pos);
+        ctx.store_u64(slot + 64, key ^ 0x4157_4157);
+        ctx.ofence();
+
+        let h = fnv1a(key);
+        let nrows = 1 + h % 3;
+        for i in 0..nrows {
+            let r = fnv1a(key.wrapping_add(i * 0x9e37)) % ROWS_PER_PARTITION;
+            let row = self.row_addr(r);
+            ctx.load_u64(row); // read-modify-write
+            ctx.store_u64(row, key.rotate_left(i as u32 + 1));
+            ctx.store_u64(row + 64, self.log_pos);
+        }
+        // The rare cross-thread touch (catalog/stats table), keyed so a
+        // replayed trace reproduces it exactly.
+        if h.is_multiple_of(50) {
+            let shared = SHARED_ROWS_REGION + (h / 50) % SHARED_ROWS * 64;
+            let v = ctx.load_u64(shared);
+            ctx.store_u64(shared, v + 1);
+        }
+        ctx.ofence();
+
+        ctx.store_u64(slot + 8, 0xc0_4417); // committed tag
+        ctx.ofence();
+        ctx.dfence();
+    }
+
+    /// Key-derived read-only transaction: load the 1–3 rows the matching
+    /// update would have written. No log record, no fences — reads are
+    /// not persisted, mirroring a WAL engine's read path.
+    pub(crate) fn serve_read(&mut self, ctx: &mut BurstCtx<'_>, key: u64) {
+        let h = fnv1a(key);
+        let nrows = 1 + h % 3;
+        for i in 0..nrows {
+            let r = fnv1a(key.wrapping_add(i * 0x9e37)) % ROWS_PER_PARTITION;
+            let row = self.row_addr(r);
+            ctx.load_u64(row);
+            ctx.load_u64(row + 64);
+        }
     }
 }
 

@@ -92,7 +92,8 @@ pub enum KeySampler {
     Zipf {
         /// Key-space size.
         n: u64,
-        /// Skew parameter (0 = uniform-ish, 0.99 = YCSB default).
+        /// Skew parameter in `(0, 1)` (0.99 = YCSB default); exactly 0
+        /// degrades to the [`KeySampler::Uniform`] variant instead.
         theta: f64,
         /// Precomputed normalization constant.
         zetan: f64,
@@ -111,16 +112,35 @@ impl KeySampler {
 
     /// A Zipfian sampler over `[1, n]`.
     ///
+    /// `theta == 0` is exactly uniform and returns the
+    /// [`KeySampler::Uniform`] variant, so skew sweeps can run all the
+    /// way down to no skew.
+    ///
     /// # Panics
     ///
-    /// Panics if `theta` is not in `(0, 1)`.
+    /// Panics if `theta` is not in `[0, 1)`.
     pub fn zipf(n: u64, theta: f64) -> KeySampler {
-        assert!(theta > 0.0 && theta < 1.0, "zipf theta must be in (0,1)");
+        assert!(
+            (0.0..1.0).contains(&theta),
+            "zipf theta must be in [0,1), got {theta}"
+        );
+        if theta == 0.0 {
+            return KeySampler::uniform(n);
+        }
         let n = n.max(1);
         let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
         let zeta2: f64 = (1..=2.min(n)).map(|i| 1.0 / (i as f64).powf(theta)).sum();
         let alpha = 1.0 / (1.0 - theta);
-        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        // For n <= 2 the denominator `1 - zeta2/zetan` is exactly zero
+        // (zeta2 == zetan), which used to store a NaN/∞ eta. Sampling
+        // never consults eta for n <= 2 — the two head-probability
+        // branches cover the whole key space — so any finite value is
+        // correct; use 0.
+        let eta = if n <= 2 {
+            0.0
+        } else {
+            (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan)
+        };
         KeySampler::Zipf {
             n,
             theta,
@@ -461,6 +481,55 @@ mod tests {
     #[should_panic(expected = "theta")]
     fn zipf_rejects_bad_theta() {
         KeySampler::zipf(10, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn zipf_rejects_negative_theta() {
+        KeySampler::zipf(10, -0.1);
+    }
+
+    #[test]
+    fn zipf_theta_zero_degrades_to_uniform() {
+        // Regression: the doc promised "0 = uniform" but the constructor
+        // asserted theta > 0. theta == 0 *is* uniform; return that.
+        let s = KeySampler::zipf(8, 0.0);
+        assert!(matches!(s, KeySampler::Uniform { n: 8 }));
+        let mut rng = DetRng::seed(3);
+        let mut seen = [false; 9];
+        for _ in 0..500 {
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[1..=8].iter().all(|&b| b));
+    }
+
+    #[test]
+    fn zipf_tiny_key_spaces_have_finite_eta() {
+        // Regression: for n == 1 (and n == 2) `zeta2 == zetan`, so the
+        // eta denominator `1 - zeta2/zetan` was exactly 0 and eta was
+        // stored as NaN/∞. Sampling happened not to consult eta for
+        // n <= 2, but the poisoned constant leaked from the public field.
+        for n in [1u64, 2, 3] {
+            let s = KeySampler::zipf(n, 0.99);
+            match s {
+                KeySampler::Zipf { eta, zetan, .. } => {
+                    assert!(eta.is_finite(), "n={n}: eta={eta}");
+                    assert!(zetan.is_finite() && zetan > 0.0, "n={n}: zetan={zetan}");
+                }
+                KeySampler::Uniform { .. } => panic!("n={n}: expected Zipf variant"),
+            }
+            let mut rng = DetRng::seed(7);
+            for _ in 0..200 {
+                let k = s.sample(&mut rng);
+                assert!((1..=n).contains(&k), "n={n}: sampled {k}");
+            }
+        }
+        // n == 1 must always answer the only key.
+        let one = KeySampler::zipf(1, 0.5);
+        let mut rng = DetRng::seed(11);
+        for _ in 0..50 {
+            assert_eq!(one.sample(&mut rng), 1);
+        }
     }
 
     #[test]

@@ -56,6 +56,7 @@ mod common;
 pub mod exthash;
 pub mod levelhash;
 pub mod recovery;
+pub mod traffic;
 
 pub use common::{
     Arena, KeySampler, SpinLock, WorkloadParams, GLOBALS_BASE, LOCK_CELL_BYTES, STATIC_BASE,

@@ -1,0 +1,284 @@
+//! The open-loop driver: a [`ThreadProgram`] that replays a time-ordered
+//! request bank against a [`RequestService`], measuring per-request
+//! queueing delay and service time.
+//!
+//! Open loop means arrivals do not wait for completions: each request has
+//! a fixed arrival instant, and a request that arrives while the thread
+//! is still serving an earlier one queues (its queueing delay grows).
+//! When the thread is ahead of the stream it sleeps via
+//! [`BurstCtx::idle`] until the next arrival — *exactly* until, which is
+//! what keeps the measured timeline a pure function of the request bank
+//! and the timing model, independent of engine scheduling details.
+
+use super::service::{RequestService, ServiceStep};
+use super::Request;
+use asap_core::{BurstCtx, BurstStatus, ThreadProgram};
+use asap_sim_core::{LatencySplit, ThreadId};
+use std::sync::{Arc, Mutex};
+
+/// Per-thread latency results, collected after the simulation: slot `t`
+/// holds thread `t`'s [`LatencySplit`] once it finishes.
+pub type LatencySink = Arc<Mutex<Vec<LatencySplit>>>;
+
+/// An empty sink with one slot per driver thread.
+pub fn new_sink(threads: usize) -> LatencySink {
+    Arc::new(Mutex::new(vec![LatencySplit::new(); threads]))
+}
+
+/// Where the driver is in its current request's lifecycle.
+#[derive(Debug, Clone, Copy)]
+enum DriveState {
+    /// No request in flight; waiting for (or about to take) the next
+    /// arrival.
+    Idle,
+    /// The service is emitting bursts for request `idx`.
+    Serving {
+        /// Index into the request bank.
+        idx: usize,
+        /// Simulated instant service began.
+        started: u64,
+    },
+    /// The final service burst was emitted; on the next call `ctx.now()`
+    /// is the completion instant.
+    Completing {
+        /// Index into the request bank.
+        idx: usize,
+        /// Simulated instant service began.
+        started: u64,
+    },
+}
+
+/// One open-loop client/server thread.
+///
+/// Thread `t` of an `n`-thread run serves bank indices `t, t + n,
+/// t + 2n, …` — a round-robin partition of the globally time-ordered
+/// stream, so every thread sees the global arrival shape and the
+/// partition is independent of execution order.
+pub struct OpenLoop {
+    service: Box<dyn RequestService + Send + Sync>,
+    bank: Arc<Vec<Request>>,
+    next: usize,
+    stride: usize,
+    think: u64,
+    state: DriveState,
+    lat: LatencySplit,
+    sink: LatencySink,
+    slot: usize,
+    flushed: bool,
+}
+
+impl OpenLoop {
+    /// Driver for thread `slot` of a `stride`-thread run over `bank`,
+    /// prefixing each request's service with `think` compute cycles and
+    /// flushing its latency split into `sink[slot]` when the bank is
+    /// exhausted.
+    pub fn new(
+        service: Box<dyn RequestService + Send + Sync>,
+        bank: Arc<Vec<Request>>,
+        slot: usize,
+        stride: usize,
+        think: u64,
+        sink: LatencySink,
+    ) -> OpenLoop {
+        assert!(stride > 0, "stride must be positive");
+        assert!(
+            slot < stride,
+            "slot {slot} out of range for stride {stride}"
+        );
+        OpenLoop {
+            service,
+            bank,
+            next: slot,
+            stride,
+            think,
+            state: DriveState::Idle,
+            lat: LatencySplit::new(),
+            sink,
+            slot,
+            flushed: false,
+        }
+    }
+}
+
+impl ThreadProgram for OpenLoop {
+    fn next_burst(&mut self, tid: ThreadId, ctx: &mut BurstCtx<'_>) -> BurstStatus {
+        let now = ctx.now().0;
+        loop {
+            match self.state {
+                DriveState::Completing { idx, started } => {
+                    // This call's `now` is the instant the final service
+                    // burst finished executing: the client-visible ack.
+                    let req = self.bank[idx];
+                    self.lat.record(started - req.at, now - started);
+                    ctx.op_completed();
+                    self.state = DriveState::Idle;
+                }
+                DriveState::Serving { idx, started } => {
+                    let req = self.bank[idx];
+                    return match self.service.step(tid, ctx, &req) {
+                        ServiceStep::Pending => BurstStatus::Running,
+                        ServiceStep::Done => {
+                            self.state = DriveState::Completing { idx, started };
+                            BurstStatus::Running
+                        }
+                    };
+                }
+                DriveState::Idle => {
+                    if self.next >= self.bank.len() {
+                        if !self.flushed {
+                            let done = std::mem::take(&mut self.lat);
+                            self.sink.lock().unwrap()[self.slot] = done;
+                            self.flushed = true;
+                        }
+                        return BurstStatus::Finished;
+                    }
+                    let req = self.bank[self.next];
+                    if req.at > now {
+                        // Sleep exactly until the arrival; the next burst
+                        // generates at `req.at`.
+                        ctx.idle(req.at - now);
+                        return BurstStatus::Running;
+                    }
+                    // The request has arrived (possibly long ago — that
+                    // backlog is its queueing delay). Start serving in
+                    // this same burst.
+                    self.next += self.stride;
+                    self.state = DriveState::Serving {
+                        idx: self.next - self.stride,
+                        started: now,
+                    };
+                    ctx.compute(self.think);
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.service.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::service::NstoreService;
+    use super::super::{generate, ArrivalKind, RequestOp, TrafficConfig};
+    use super::*;
+    use crate::WorkloadParams;
+    use asap_core::{Flavor, ModelKind, SimBuilder};
+    use asap_sim_core::SimConfig;
+
+    fn run(threads: usize, cfg: &TrafficConfig) -> Vec<LatencySplit> {
+        let bank = Arc::new(generate(cfg));
+        let sink = new_sink(threads);
+        let params = WorkloadParams {
+            threads,
+            ops_per_thread: 0,
+            seed: cfg.seed,
+            ..Default::default()
+        };
+        let programs: Vec<Box<dyn ThreadProgram>> = (0..threads)
+            .map(|t| -> Box<dyn ThreadProgram> {
+                Box::new(OpenLoop::new(
+                    Box::new(NstoreService::new(t, &params)),
+                    Arc::clone(&bank),
+                    t,
+                    threads,
+                    0,
+                    Arc::clone(&sink),
+                ))
+            })
+            .collect();
+        let mut sim = SimBuilder::new(SimConfig::paper(), ModelKind::Asap, Flavor::Release)
+            .programs(programs)
+            .build();
+        let out = sim.run_to_completion();
+        assert!(out.all_done, "open-loop run must drain the bank");
+        let splits = sink.lock().unwrap().clone();
+        splits
+    }
+
+    fn cfg(requests: u64) -> TrafficConfig {
+        TrafficConfig {
+            requests,
+            arrival: ArrivalKind::Poisson,
+            mean_gap: 2_000,
+            zipf_theta: 0.99,
+            key_space: 256,
+            update_fraction: 0.5,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn every_request_is_measured_exactly_once() {
+        let c = cfg(200);
+        let splits = run(2, &c);
+        let total: u64 = splits.iter().map(|s| s.count()).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn latency_tables_are_identical_across_runs() {
+        let c = cfg(150);
+        let a = run(2, &c);
+        let b = run(2, &c);
+        assert_eq!(a, b, "same bank + seed must replay byte-identically");
+    }
+
+    #[test]
+    fn unloaded_requests_have_zero_queueing() {
+        // Gaps far larger than a txn's service time: the thread always
+        // sleeps to the arrival instant, so queueing delay is exactly 0.
+        let c = TrafficConfig {
+            requests: 50,
+            arrival: ArrivalKind::Fixed,
+            mean_gap: 2_000_000,
+            zipf_theta: 0.0,
+            key_space: 64,
+            update_fraction: 1.0,
+            seed: 4,
+        };
+        let splits = run(1, &c);
+        assert_eq!(splits[0].count(), 50);
+        assert_eq!(splits[0].queueing.max(), 0, "no load, no queueing");
+        assert!(splits[0].service.min() > 0, "txns take simulated time");
+    }
+
+    #[test]
+    fn overload_builds_queueing_delay() {
+        // Gaps of one cycle: the server can't keep up, so later requests
+        // wait far longer than their service time.
+        let c = TrafficConfig {
+            requests: 300,
+            arrival: ArrivalKind::Fixed,
+            mean_gap: 1,
+            zipf_theta: 0.0,
+            key_space: 64,
+            update_fraction: 1.0,
+            seed: 4,
+        };
+        let splits = run(1, &c);
+        assert_eq!(splits[0].count(), 300);
+        assert!(
+            splits[0].queueing.max() > splits[0].service.max() * 10,
+            "overload must accumulate queueing ({} vs service {})",
+            splits[0].queueing.max(),
+            splits[0].service.max()
+        );
+    }
+
+    #[test]
+    fn stride_partitions_the_bank_without_loss() {
+        let c = TrafficConfig {
+            requests: 101, // deliberately not a multiple of the stride
+            ..cfg(0)
+        };
+        let splits = run(4, &c);
+        let total: u64 = splits.iter().map(|s| s.count()).sum();
+        assert_eq!(total, 101);
+        // A GET/SET mix reaches every thread.
+        let bank = generate(&c);
+        assert!(bank.iter().any(|r| r.op == RequestOp::Get));
+        assert!(bank.iter().any(|r| r.op == RequestOp::Set));
+    }
+}

@@ -1,0 +1,304 @@
+//! Request services: adapters that serve one [`Request`] at a time
+//! against the WHISPER application structures.
+//!
+//! A service is the server-side half of the open-loop frontend: the
+//! [`OpenLoop`](super::OpenLoop) driver decides *when* a request starts
+//! (arrival process, client queueing) and a [`RequestService`] decides
+//! *what memory traffic serving it produces*. Services reuse the exact
+//! persist-critical sections of the closed-loop apps (memcached's
+//! locked SET, echo's local-log append + batched master merge, nstore's
+//! WAL transaction), so the persistency models see the same flush/fence
+//! discipline under open-loop load that the Table III figures measure.
+
+use super::{Request, RequestOp};
+use crate::apps::echo::{Echo, BATCH, MASTER_LOCK, MASTER_REGION, MASTER_SLOTS};
+use crate::apps::memcached::Memcached;
+use crate::apps::nstore::Nstore;
+use crate::common::{fnv1a, lock_region, LockPhase, LockStep, SpinLock, LOCK_STRIPES};
+use crate::WorkloadParams;
+use asap_core::BurstCtx;
+use asap_sim_core::ThreadId;
+
+/// What a service reports after one burst of serving a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceStep {
+    /// The request needs more bursts (lock spin, multi-phase critical
+    /// section); call `step` again when this burst has executed.
+    Pending,
+    /// The final burst of this request was emitted; once it executes,
+    /// the request is complete (the client-visible ack instant).
+    Done,
+}
+
+/// Serves requests against a persistent structure, one burst at a time.
+///
+/// `step` is called with the same request until it returns
+/// [`ServiceStep::Done`]; the service owns any cross-burst state (lock
+/// phases, batches).
+pub trait RequestService {
+    /// Emit the next burst of work for `req`.
+    fn step(&mut self, tid: ThreadId, ctx: &mut BurstCtx<'_>, req: &Request) -> ServiceStep;
+
+    /// Report label.
+    fn name(&self) -> &'static str;
+}
+
+/// Memcached: GET = lock-free chain walk; SET = striped bucket lock,
+/// out-of-place item persist, head swing, release, `dfence` before the
+/// client ack — the same protocol as the closed-loop workload.
+pub struct MemcachedService {
+    app: Memcached,
+    lock: Option<(u64, SpinLock, LockPhase)>,
+}
+
+impl MemcachedService {
+    /// Service for one server thread.
+    pub fn new(thread: usize, params: &WorkloadParams) -> MemcachedService {
+        MemcachedService {
+            app: Memcached::new(thread, params),
+            lock: None,
+        }
+    }
+}
+
+impl RequestService for MemcachedService {
+    fn step(&mut self, tid: ThreadId, ctx: &mut BurstCtx<'_>, req: &Request) -> ServiceStep {
+        if let Some((key, lock, mut phase)) = self.lock.take() {
+            return match phase.step(lock, ctx, tid, 30) {
+                LockStep::EnterCritical => {
+                    self.app.set(ctx, key);
+                    self.lock = Some((key, lock, phase));
+                    ServiceStep::Pending
+                }
+                LockStep::StillAcquiring => {
+                    self.lock = Some((key, lock, phase));
+                    ServiceStep::Pending
+                }
+                LockStep::Released => {
+                    ctx.dfence();
+                    ServiceStep::Done
+                }
+            };
+        }
+        match req.op {
+            RequestOp::Get => {
+                self.app.get(ctx, req.key);
+                ServiceStep::Done
+            }
+            RequestOp::Set => {
+                let lock = SpinLock::striped(lock_region(2), fnv1a(req.key), LOCK_STRIPES);
+                self.lock = Some((req.key, lock, LockPhase::start()));
+                // Start acquiring in this same burst.
+                self.step(tid, ctx, req)
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "memcached"
+    }
+}
+
+/// Echo: SET = thread-local persistent log append (acked after the
+/// local persist, as echo does); every [`BATCH`]th set additionally
+/// merges the batch into the master index under the global lock before
+/// acking. GET = master-index slot probe.
+pub struct EchoService {
+    app: Echo,
+    since_merge: u64,
+    merge: Option<LockPhase>,
+}
+
+impl EchoService {
+    /// Service for one server thread.
+    pub fn new(thread: usize, params: &WorkloadParams) -> EchoService {
+        EchoService {
+            app: Echo::new(thread, params),
+            since_merge: 0,
+            merge: None,
+        }
+    }
+}
+
+impl RequestService for EchoService {
+    fn step(&mut self, tid: ThreadId, ctx: &mut BurstCtx<'_>, req: &Request) -> ServiceStep {
+        if let Some(mut phase) = self.merge.take() {
+            let lock = SpinLock::at(MASTER_LOCK);
+            return match phase.step(lock, ctx, tid, 60) {
+                LockStep::EnterCritical => {
+                    self.app.master_merge(ctx);
+                    self.merge = Some(phase);
+                    ServiceStep::Pending
+                }
+                LockStep::StillAcquiring => {
+                    self.merge = Some(phase);
+                    ServiceStep::Pending
+                }
+                LockStep::Released => {
+                    ctx.dfence();
+                    self.since_merge = 0;
+                    ServiceStep::Done
+                }
+            };
+        }
+        match req.op {
+            RequestOp::Set => {
+                self.app.local_put(ctx, req.key);
+                self.since_merge += 1;
+                if self.since_merge >= BATCH {
+                    self.merge = Some(LockPhase::start());
+                    ServiceStep::Pending
+                } else {
+                    ServiceStep::Done
+                }
+            }
+            RequestOp::Get => {
+                let slot = MASTER_REGION + (fnv1a(req.key) % MASTER_SLOTS) * 64;
+                ctx.load_u64(slot);
+                ctx.load_u64(slot + 8);
+                ServiceStep::Done
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "echo"
+    }
+}
+
+/// Nstore: SET = one key-derived WAL transaction (log record, row
+/// updates, commit marker, `dfence`); GET = key-derived read-only row
+/// loads. Single-burst either way.
+pub struct NstoreService {
+    app: Nstore,
+}
+
+impl NstoreService {
+    /// Service for one server thread.
+    pub fn new(thread: usize, params: &WorkloadParams) -> NstoreService {
+        NstoreService {
+            app: Nstore::new(thread, params),
+        }
+    }
+}
+
+impl RequestService for NstoreService {
+    fn step(&mut self, _tid: ThreadId, ctx: &mut BurstCtx<'_>, req: &Request) -> ServiceStep {
+        match req.op {
+            RequestOp::Set => self.app.serve_update(ctx, req.key),
+            RequestOp::Get => self.app.serve_read(ctx, req.key),
+        }
+        ServiceStep::Done
+    }
+
+    fn name(&self) -> &'static str {
+        "nstore"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_pm_mem::{PmSpace, WriteJournal};
+
+    fn params() -> WorkloadParams {
+        WorkloadParams {
+            threads: 1,
+            ops_per_thread: 0,
+            seed: 5,
+            ..Default::default()
+        }
+    }
+
+    fn req(op: RequestOp, key: u64) -> Request {
+        Request { at: 0, op, key }
+    }
+
+    #[test]
+    fn memcached_get_is_single_burst() {
+        let mut pm = PmSpace::new();
+        let mut j = WriteJournal::disabled();
+        let mut ctx = BurstCtx::new(&mut pm, &mut j);
+        let mut s = MemcachedService::new(0, &params());
+        let step = s.step(ThreadId(0), &mut ctx, &req(RequestOp::Get, 9));
+        assert_eq!(step, ServiceStep::Done);
+        assert!(ctx.op_count() >= 1, "GET must emit loads");
+    }
+
+    #[test]
+    fn memcached_set_runs_the_lock_protocol_to_done() {
+        let mut pm = PmSpace::new();
+        let mut j = WriteJournal::enabled();
+        let mut s = MemcachedService::new(0, &params());
+        let r = req(RequestOp::Set, 9);
+        let mut steps = 0;
+        loop {
+            let mut ctx = BurstCtx::new(&mut pm, &mut j);
+            let out = s.step(ThreadId(0), &mut ctx, &r);
+            assert!(ctx.op_count() >= 1, "every burst must emit ops");
+            steps += 1;
+            assert!(steps < 10, "set never completed");
+            if out == ServiceStep::Done {
+                break;
+            }
+        }
+        // Uncontended: ticket+critical burst, then release, then done.
+        assert!(steps >= 2, "set must span multiple bursts, got {steps}");
+    }
+
+    #[test]
+    fn echo_merges_every_batch() {
+        let mut pm = PmSpace::new();
+        let mut j = WriteJournal::enabled();
+        let mut s = EchoService::new(0, &params());
+        let mut merged_requests = 0;
+        for k in 0..(2 * BATCH) {
+            let r = req(RequestOp::Set, k + 1);
+            let mut bursts = 0;
+            loop {
+                let mut ctx = BurstCtx::new(&mut pm, &mut j);
+                let out = s.step(ThreadId(0), &mut ctx, &r);
+                bursts += 1;
+                assert!(bursts < 10);
+                if out == ServiceStep::Done {
+                    break;
+                }
+            }
+            if bursts > 1 {
+                merged_requests += 1;
+            }
+        }
+        assert_eq!(merged_requests, 2, "one merge per BATCH sets");
+        // The master index saw the batch.
+        let mut filled = 0;
+        for slot in 0..MASTER_SLOTS {
+            if pm.read_u64(MASTER_REGION + slot * 64) != 0 {
+                filled += 1;
+            }
+        }
+        assert!(filled > 0);
+    }
+
+    #[test]
+    fn nstore_requests_are_single_burst_and_key_deterministic() {
+        let mk_ops = |key: u64, op: RequestOp| {
+            let mut pm = PmSpace::new();
+            let mut j = WriteJournal::enabled();
+            let mut s = NstoreService::new(0, &params());
+            let mut ctx = BurstCtx::new(&mut pm, &mut j);
+            assert_eq!(
+                s.step(ThreadId(0), &mut ctx, &req(op, key)),
+                ServiceStep::Done
+            );
+            ctx.into_parts().0
+        };
+        // Same key, same traffic — independent of any RNG state.
+        let a = mk_ops(42, RequestOp::Set);
+        let b = mk_ops(42, RequestOp::Set);
+        assert_eq!(a, b);
+        // Reads emit loads only.
+        let r = mk_ops(42, RequestOp::Get);
+        assert!(!r.is_empty());
+        assert!(r.iter().all(|o| !o.is_store()));
+    }
+}

@@ -12,7 +12,8 @@ use asap::mc::RecoveryTable;
 use asap::model::DepGraph;
 use asap::pm::{NvmImage, PmAllocator, PmSpace};
 use asap::sim::{
-    Cycle, DetRng, EpochId, EventQueue, Histogram, LineAddr, LineIdx, LineTable, ThreadId,
+    Cycle, DetRng, EpochId, EventQueue, Histogram, LineAddr, LineIdx, LineTable, LogHistogram,
+    ThreadId,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -242,6 +243,67 @@ fn histogram_percentiles_are_monotonic() {
         let max = *samples.iter().max().unwrap() as f64;
         let min = *samples.iter().min().unwrap() as f64;
         assert!(h.mean() <= max && h.mean() >= min, "case {case}");
+    }
+}
+
+// ---- log-bucketed histogram vs dense reference ----
+
+/// The constant-memory [`LogHistogram`] must agree with the dense
+/// [`Histogram`] on every percentile within its documented relative
+/// error bound, across value magnitudes spanning many octaves.
+#[test]
+fn log_histogram_percentiles_match_dense_within_error_bound() {
+    for case in 0..CASES {
+        let mut rng = case_rng(14, case);
+        let n = rng.index(400) + 1;
+        // Mix magnitudes: exact linear range, mid octaves, and
+        // million-cycle tails like real request latencies.
+        let samples: Vec<u64> = (0..n)
+            .map(|_| {
+                let octave = rng.index(21) as u32;
+                rng.below(1u64 << octave)
+            })
+            .collect();
+        let mut dense = Histogram::new();
+        let mut log = LogHistogram::new();
+        for &s in &samples {
+            dense.record(s as usize);
+            log.record(s);
+        }
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0] {
+            let exact = dense.percentile(p) as u64;
+            let approx = log.percentile(p);
+            let bound = exact as f64 * LogHistogram::REL_ERROR + 0.5;
+            assert!(
+                approx.abs_diff(exact) as f64 <= bound,
+                "case {case}: p{p}: dense={exact} log={approx} bound={bound}"
+            );
+        }
+        assert_eq!(log.count(), dense.count(), "case {case}");
+        assert_eq!(log.max(), dense.max() as u64, "case {case}");
+        assert!((log.mean() - dense.mean()).abs() < 1e-6, "case {case}");
+    }
+}
+
+/// Merging shards must be exactly equivalent to recording the
+/// concatenated stream (the reduction the per-thread latency sinks do).
+#[test]
+fn log_histogram_sharded_merge_equals_single_stream() {
+    for case in 0..CASES {
+        let mut rng = case_rng(15, case);
+        let shards = rng.index(4) + 2;
+        let mut merged = LogHistogram::new();
+        let mut whole = LogHistogram::new();
+        for _ in 0..shards {
+            let mut shard = LogHistogram::new();
+            for _ in 0..rng.index(100) {
+                let v = rng.below(1 << 24);
+                shard.record(v);
+                whole.record(v);
+            }
+            merged.merge(&shard);
+        }
+        assert_eq!(merged, whole, "case {case}");
     }
 }
 
