@@ -19,18 +19,27 @@
 //!
 //! ```text
 //! sweep_bench [--quick] [--threads N] [--out PATH] [--queue sharded|heap]
+//!             [--cache-dir DIR]
 //! ```
 //!
 //! `--quick` uses the tests' quick scale (CI exercises the parallel
 //! path on every push without paying paper-scale minutes); the default
-//! is paper scale. `--threads N` pins the worker count; `--progress`
-//! prints an `N/M jobs, ETA …` line as the parallel leg proceeds.
-//! `--queue` (or `ASAP_QUEUE`; the flag wins) selects the event-queue
-//! implementation for every simulation in the sweep — dispatch order is
-//! identical either way, so this only moves wall clock.
+//! is paper scale. The shared sweep flags (`--threads`/`--workers`,
+//! `--queue`/`ASAP_QUEUE`, `--progress`) parse through
+//! [`asap_harness::args::SweepArgs`] exactly as in the figure binaries.
+//! `--queue` selects the event-queue implementation for every
+//! simulation in the sweep — dispatch order is identical either way, so
+//! this only moves wall clock.
+//!
+//! `--cache-dir DIR` adds a fourth timed phase: store every parallel
+//! outcome into the digest-keyed outcome cache, then replay the whole
+//! sweep from disk and cross-check the decoded outcomes against the
+//! simulated ones. The JSON gains `cache_store_ms` / `cache_warm_ms` /
+//! `cache_hits`; without the flag the output is unchanged.
 
 use asap_core::{Flavor, ModelKind, SimBuilder};
-use asap_harness::args::{arg_value as arg, has_flag, parse_arg};
+use asap_harness::args::{arg_value as arg, has_flag, SweepArgs};
+use asap_harness::cache::{decode_outcome, encode_outcome, run_spec_digest, OutcomeCache};
 use asap_harness::experiments::{fig08_specs, ExperimentScale};
 use asap_harness::{pool, prewarm_workloads, run_once, workload_bank_stats, RunOutcome, RunSpec};
 use asap_sim_core::SimConfig;
@@ -95,20 +104,12 @@ fn pool_audit(scale: ExperimentScale) -> (u64, u64, u64) {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = has_flag(&args, "--quick");
-    if let Some(n) = parse_arg(&args, "--threads") {
-        pool::set_worker_override(n);
-    }
-    // `--queue` beats `ASAP_QUEUE`; both parse strictly. The queue kind
-    // is recorded in the JSON so archived numbers are attributable.
-    if let Some(kind) = parse_arg::<asap_core::QueueKind>(&args, "--queue")
-        .or_else(|| asap_harness::args::parse_env("ASAP_QUEUE"))
-    {
-        asap_core::set_default_queue_kind(kind);
-    }
+    // Shared sweep flags (`--threads`/`--workers`, `--queue` beating
+    // `ASAP_QUEUE`, `--progress`) parse and install through the one
+    // SweepArgs path the figure binaries use. The queue kind is
+    // recorded in the JSON so archived numbers are attributable.
+    let sa = SweepArgs::init();
     let queue_kind = asap_core::default_queue_kind();
-    if has_flag(&args, "--progress") {
-        pool::set_progress(true);
-    }
     let out_path = arg(&args, "--out").unwrap_or_else(|| "BENCH_sweep.json".into());
     let (scale_name, scale) = if quick {
         ("quick", ExperimentScale::quick())
@@ -153,6 +154,32 @@ fn main() {
         "parallel outcomes diverged from serial at spec indices {diverged:?}"
     );
 
+    // Phase 4 (optional): the outcome-cache round trip. Store every
+    // parallel outcome, replay the sweep from disk, and cross-check —
+    // `cache_warm_ms` is the wall clock a fully warm re-run pays.
+    let cache_timing = sa.cache_dir.as_deref().map(|dir| {
+        let cache = OutcomeCache::open(dir).expect("open --cache-dir");
+        let keys: Vec<u64> = specs
+            .iter()
+            .map(|s| run_spec_digest(s, "complete"))
+            .collect();
+        let ((), t_store) = time(|| {
+            for (key, out) in keys.iter().zip(&parallel) {
+                cache
+                    .store(*key, &encode_outcome(out))
+                    .expect("cache store");
+            }
+        });
+        let (warm, t_warm) = time(|| {
+            keys.iter()
+                .map(|&k| decode_outcome(&cache.load(k).expect("warm cache hit")))
+                .collect::<Vec<_>>()
+        });
+        let decoded: Vec<RunOutcome> = warm.into_iter().map(|o| o.expect("decode")).collect();
+        assert_eq!(decoded, parallel, "cached outcomes diverged from simulated");
+        (t_store, t_warm, cache.stats().hits)
+    });
+
     let (bank_hits, bank_misses) = workload_bank_stats();
     let (pool_fresh, pool_recycled, pool_steady) = pool_audit(scale);
 
@@ -170,6 +197,10 @@ fn main() {
     println!(
         "snapshot pool    {pool_fresh} fresh / {pool_recycled} recycled boxes, {pool_steady} steady-state allocs"
     );
+    if let Some((t_store, t_warm, hits)) = cache_timing {
+        println!("cache store      {t_store:>10.2?}");
+        println!("cache warm       {t_warm:>10.2?}  ({hits} hits, outcomes identical)");
+    }
     if cfg!(feature = "alloc-count") {
         println!(
             "allocations      gen {} / serial {} / parallel {} / reduce {}",
@@ -192,6 +223,14 @@ fn main() {
     } else {
         String::new()
     };
+    let cache_json = match cache_timing {
+        Some((t_store, t_warm, hits)) => format!(
+            ",\n  \"cache_store_ms\": {:.3},\n  \"cache_warm_ms\": {:.3},\n  \"cache_hits\": {hits}",
+            t_store.as_secs_f64() * 1e3,
+            t_warm.as_secs_f64() * 1e3,
+        ),
+        None => String::new(),
+    };
     let json = format!(
         concat!(
             "{{\n",
@@ -210,7 +249,7 @@ fn main() {
             "  \"bank_misses\": {bank_misses},\n",
             "  \"pool_fresh\": {pool_fresh},\n",
             "  \"pool_recycled\": {pool_recycled},\n",
-            "  \"pool_steady_state_allocs\": {pool_steady}{alloc_json}\n",
+            "  \"pool_steady_state_allocs\": {pool_steady}{alloc_json}{cache_json}\n",
             "}}\n"
         ),
         scale_name = scale_name,
@@ -228,6 +267,7 @@ fn main() {
         pool_recycled = pool_recycled,
         pool_steady = pool_steady,
         alloc_json = alloc_json,
+        cache_json = cache_json,
     );
     std::fs::write(&out_path, json).expect("write BENCH_sweep.json");
     eprintln!("wrote {out_path}");

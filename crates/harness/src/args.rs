@@ -99,12 +99,223 @@ where
     }
 }
 
+/// One slice of a sweep for cross-machine sharding: shard `index` of
+/// `of` owns the legs whose index is `index (mod of)`. Parsed from the
+/// CLI as `i/n` (e.g. `--shard 0/2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This shard's index, `0..of`.
+    pub index: usize,
+    /// Total shard count.
+    pub of: usize,
+}
+
+impl Shard {
+    /// Does this shard own sweep leg `leg`?
+    pub fn owns(&self, leg: usize) -> bool {
+        leg % self.of == self.index
+    }
+}
+
+impl Display for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.of)
+    }
+}
+
+impl FromStr for Shard {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Shard, String> {
+        let err = || format!("expected i/n with i < n (e.g. 0/2), got '{s}'");
+        let (i, n) = s.split_once('/').ok_or_else(err)?;
+        let index: usize = i.parse().map_err(|_| err())?;
+        let of: usize = n.parse().map_err(|_| err())?;
+        if of == 0 || index >= of {
+            return Err(err());
+        }
+        Ok(Shard { index, of })
+    }
+}
+
+/// The sweep-wide flag set shared by every harness (and bench) binary,
+/// replacing the per-binary copies of `--threads`/`--workers`/`--queue`
+/// parsing:
+///
+/// | flag | effect |
+/// |---|---|
+/// | `--full` | paper-scale run (default: quick) |
+/// | `--seed N` | RNG seed override |
+/// | `--workers N` / `--threads N` | pin the per-process worker pool |
+/// | `--queue sharded\|heap` | event-queue kind (or `ASAP_QUEUE`) |
+/// | `--progress` | stderr `N/M jobs, ETA …` line |
+/// | `--procs N` | fan the sweep over N worker processes |
+/// | `--chunk N` | legs per work-stealing chunk (default 4) |
+/// | `--cache-dir DIR` | digest-keyed outcome cache + resume journal |
+/// | `--resume` | skip legs already journaled/cached in `--cache-dir` |
+/// | `--shard i/n` | run only legs `i (mod n)` (cross-machine split) |
+///
+/// Malformed values exit with status 2 ([`parse_arg`]'s contract);
+/// `--resume` without `--cache-dir` is an error. [`SweepArgs::apply`]
+/// installs the process-global settings (worker override, queue kind,
+/// progress); [`SweepArgs::init`] is the one-call form the binaries use.
+#[derive(Debug, Clone)]
+pub struct SweepArgs {
+    /// Paper-scale run requested (`--full`).
+    pub full: bool,
+    /// RNG seed override (`--seed`).
+    pub seed: Option<u64>,
+    /// Per-process worker-pool pin (`--workers` / `--threads`).
+    pub workers: Option<usize>,
+    /// Event-queue kind (`--queue` / `ASAP_QUEUE`).
+    pub queue: Option<asap_sim_core::QueueKind>,
+    /// Progress reporting (`--progress`).
+    pub progress: bool,
+    /// Worker-process count for the multi-process executor (`--procs`).
+    pub procs: usize,
+    /// Legs per work-stealing chunk (`--chunk`).
+    pub chunk: usize,
+    /// Outcome-cache directory (`--cache-dir`).
+    pub cache_dir: Option<String>,
+    /// Resume from the cache dir's journal (`--resume`).
+    pub resume: bool,
+    /// Shard of the sweep to run (`--shard i/n`).
+    pub shard: Option<Shard>,
+    /// This process is a sweep worker child (internal flag, set by the
+    /// coordinator; see [`crate::proto::WORKER_FLAG`]).
+    pub worker_mode: bool,
+}
+
+impl SweepArgs {
+    /// Parse the shared flags from `argv` (strict: malformed values and
+    /// inconsistent combinations exit with status 2). Pure — process
+    /// globals are only touched by [`SweepArgs::apply`].
+    pub fn parse(argv: &[String]) -> SweepArgs {
+        let sa = SweepArgs {
+            full: has_flag(argv, "--full"),
+            seed: parse_arg(argv, "--seed"),
+            workers: parse_arg(argv, "--workers").or_else(|| parse_arg(argv, "--threads")),
+            queue: parse_arg(argv, "--queue").or_else(|| parse_env("ASAP_QUEUE")),
+            progress: has_flag(argv, "--progress"),
+            procs: parse_arg_or(argv, "--procs", 1usize),
+            chunk: parse_arg_or(argv, "--chunk", 4usize),
+            cache_dir: arg_value(argv, "--cache-dir"),
+            resume: has_flag(argv, "--resume"),
+            shard: parse_arg(argv, "--shard"),
+            worker_mode: has_flag(argv, crate::proto::WORKER_FLAG),
+        };
+        if sa.procs == 0 {
+            eprintln!("error: --procs must be at least 1");
+            std::process::exit(2);
+        }
+        if sa.chunk == 0 {
+            eprintln!("error: --chunk must be at least 1");
+            std::process::exit(2);
+        }
+        if sa.resume && sa.cache_dir.is_none() {
+            eprintln!("error: --resume requires --cache-dir (the journal lives there)");
+            std::process::exit(2);
+        }
+        sa
+    }
+
+    /// Install the process-global settings: worker-pool pin, event-queue
+    /// kind, progress toggle.
+    pub fn apply(&self) {
+        if let Some(n) = self.workers {
+            crate::pool::set_worker_override(n);
+        }
+        if let Some(kind) = self.queue {
+            asap_core::set_default_queue_kind(kind);
+        }
+        if self.progress {
+            crate::pool::set_progress(true);
+        }
+    }
+
+    /// Parse [`std::env::args`] and [`SweepArgs::apply`] the globals —
+    /// the first line of every sweep binary's `main`.
+    pub fn init() -> SweepArgs {
+        let argv: Vec<String> = std::env::args().collect();
+        let sa = SweepArgs::parse(&argv);
+        sa.apply();
+        sa
+    }
+
+    /// The closed-loop experiment scale these flags select.
+    pub fn scale(&self) -> crate::experiments::ExperimentScale {
+        let mut scale = if self.full {
+            crate::experiments::ExperimentScale::full()
+        } else {
+            crate::experiments::ExperimentScale::quick()
+        };
+        if let Some(s) = self.seed {
+            scale.seed = s;
+        }
+        scale
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn argv(s: &[&str]) -> Vec<String> {
         s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn shard_parsing() {
+        assert_eq!("0/2".parse(), Ok(Shard { index: 0, of: 2 }));
+        assert_eq!("3/4".parse(), Ok(Shard { index: 3, of: 4 }));
+        assert_eq!(Shard { index: 1, of: 3 }.to_string(), "1/3");
+        for bad in ["", "2", "2/2", "5/2", "a/b", "1/0", "-1/2", "1/2/3"] {
+            assert!(bad.parse::<Shard>().is_err(), "{bad} must not parse");
+        }
+        let s = Shard { index: 1, of: 3 };
+        let owned: Vec<usize> = (0..9).filter(|&i| s.owns(i)).collect();
+        assert_eq!(owned, vec![1, 4, 7]);
+    }
+
+    #[test]
+    fn sweep_args_defaults_and_flags() {
+        let sa = SweepArgs::parse(&argv(&["prog"]));
+        assert!(!sa.full && !sa.resume && !sa.progress && !sa.worker_mode);
+        assert_eq!(sa.procs, 1);
+        assert_eq!(sa.chunk, 4);
+        assert_eq!(sa.workers, None);
+        assert_eq!(sa.cache_dir, None);
+        assert_eq!(sa.shard, None);
+
+        let sa = SweepArgs::parse(&argv(&[
+            "prog",
+            "--full",
+            "--seed",
+            "9",
+            "--threads",
+            "2",
+            "--procs",
+            "3",
+            "--chunk",
+            "8",
+            "--cache-dir",
+            "/tmp/c",
+            "--resume",
+            "--shard",
+            "1/2",
+            "--progress",
+        ]));
+        assert!(sa.full && sa.resume && sa.progress);
+        assert_eq!(sa.seed, Some(9));
+        assert_eq!(sa.workers, Some(2), "--threads is an alias");
+        assert_eq!(sa.procs, 3);
+        assert_eq!(sa.chunk, 8);
+        assert_eq!(sa.cache_dir.as_deref(), Some("/tmp/c"));
+        assert_eq!(sa.shard, Some(Shard { index: 1, of: 2 }));
+        assert_eq!(sa.scale().seed, 9);
+        assert_eq!(
+            sa.scale().ops,
+            crate::experiments::ExperimentScale::full().ops
+        );
     }
 
     #[test]

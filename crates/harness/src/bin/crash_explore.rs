@@ -21,7 +21,10 @@
 //! `--cache-dir DIR` caches clean per-config results keyed by a digest
 //! of the config's run manifest (hardware digest, workload, model,
 //! flavor, threads, ops, seed) plus every explorer parameter — any
-//! change re-explores. Configs with violations are never cached.
+//! change re-explores. Entries live in the shared checksummed store
+//! ([`asap_harness::cache::OutcomeCache`]), so a truncated or corrupted
+//! file is a miss that re-explores, never a wrong report. Configs with
+//! violations are never cached.
 //!
 //! `--broken-fixture` injects the deliberately-broken recovery table
 //! (every undo record dropped) and, with `--expect-violation`, flips
@@ -37,6 +40,7 @@ use asap_analysis::explore::{
     ExploreParams, Pass1,
 };
 use asap_harness::args::{arg_value as arg, has_flag, parse_arg, parse_arg_or};
+use asap_harness::cache::OutcomeCache;
 use asap_harness::pool;
 use asap_sim_core::{Flavor, ModelKind, SimConfig};
 use asap_workloads::WorkloadKind;
@@ -101,12 +105,7 @@ fn cache_key(p: &ExploreParams, workload: WorkloadKind, model: ModelKind) -> u64
         p.chunk,
         p.broken_undo_every
     );
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in identity.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    asap_harness::cache::fnv1a(&identity)
 }
 
 fn u64s(v: &[u64]) -> String {
@@ -249,19 +248,19 @@ fn main() {
 
     // Cache probe — only for healthy runs (a broken fixture must always
     // re-explore so the violation is re-proven).
-    let cache_path = |w: WorkloadKind, m: ModelKind| {
-        cache_dir
-            .as_ref()
-            .map(|d| format!("{d}/{:016x}.explore", cache_key(&p, w, m)))
-    };
+    let cache = cache_dir.as_deref().map(|d| {
+        OutcomeCache::open(d).unwrap_or_else(|e| {
+            eprintln!("error: cannot open --cache-dir {d}: {e}");
+            std::process::exit(2);
+        })
+    });
     let cached: Vec<Option<ConfigReport>> = grid
         .iter()
         .map(|&(w, m)| {
             if p.broken_undo_every != 0 {
                 return None;
             }
-            let path = cache_path(w, m)?;
-            let text = std::fs::read_to_string(path).ok()?;
+            let text = cache.as_ref()?.load(cache_key(&p, w, m))?;
             cache_parse(&text)
         })
         .collect();
@@ -308,14 +307,11 @@ fn main() {
         .collect();
 
     // Populate the cache with the clean, freshly-computed configs.
-    if let (Some(dir), 0) = (&cache_dir, p.broken_undo_every) {
-        let _ = std::fs::create_dir_all(dir);
+    if let (Some(cache), 0) = (&cache, p.broken_undo_every) {
         for c in configs.iter().filter(|c| !c.from_cache && c.is_clean()) {
             let w: WorkloadKind = c.workload.parse().expect("label round-trips");
             let m: ModelKind = c.model.parse().expect("label round-trips");
-            if let Some(path) = cache_path(w, m) {
-                let _ = std::fs::write(path, cache_render(c));
-            }
+            let _ = cache.store(cache_key(&p, w, m), &cache_render(c));
         }
     }
 
@@ -339,6 +335,16 @@ fn main() {
             std::fs::write(&path, report.to_json()).expect("write JSON report");
             eprintln!("# JSON report written to {path}");
         }
+    }
+    if let Some(cache) = &cache {
+        let s = cache.stats();
+        eprintln!(
+            "# cache: {} hit(s), {} miss(es), {} store(s) in {}",
+            s.hits,
+            s.misses,
+            s.stores,
+            cache.dir().display()
+        );
     }
     eprintln!("# wall-clock {:.3?} on {workers} worker(s)", t0.elapsed());
 

@@ -1,13 +1,26 @@
 //! Regenerates Figure 8: speedup over baseline, plus the §VII-A summary.
-//! The sweep fans out across all cores (`--threads N` or `ASAP_THREADS`
-//! to override); a wall-clock footer goes to stderr.
-use asap_harness::experiments::{fig08_performance, fig08_summary};
+//! Runs through the sweep executor, so the shared flags all work here:
+//! `--threads N`/`ASAP_THREADS` pins the pool, `--cache-dir DIR` makes
+//! re-runs incremental, `--procs N` fans out over worker processes,
+//! `--resume`/`--shard i/n` continue or split a sweep — the table is
+//! byte-identical in every case. A wall-clock footer and the sweep
+//! report (leg/cache-hit counts) go to stderr.
+use asap_harness::args::SweepArgs;
+use asap_harness::exec::{complete_outcomes, sweep_run_once};
+use asap_harness::experiments::{fig08_specs, fig08_summary, fig08_table_from};
 
 fn main() {
     let t0 = std::time::Instant::now();
-    let scale = asap_harness::cli_scale();
-    let t = fig08_performance(scale);
-    asap_harness::cli_emit(&t);
-    asap_harness::cli_emit(&fig08_summary(&t));
+    let sa = SweepArgs::init();
+    let specs = fig08_specs(sa.scale());
+    let (results, report) = sweep_run_once("fig08", &specs, &sa);
+    if let Some(outs) = complete_outcomes(results) {
+        let t = fig08_table_from(&outs);
+        asap_harness::cli_emit(&t);
+        asap_harness::cli_emit(&fig08_summary(&t));
+    } else {
+        eprintln!("# partial sweep (sharded): table suppressed");
+    }
+    eprintln!("{}", report.summary());
     asap_harness::cli_footer(t0);
 }

@@ -26,13 +26,23 @@
 //! exits; `--replay` replays a trace file through the sweep instead of
 //! generating banks.
 //!
+//! The main sweep runs through the executor layer
+//! ([`asap_harness::exec`]), so the shared sweep flags work here too:
+//! `--cache-dir DIR` persists each leg's outcome and makes re-runs
+//! incremental, `--procs N` fans legs over worker processes,
+//! `--resume` continues a killed sweep and `--shard i/n` splits it
+//! across machines — the table stays byte-identical throughout. The
+//! `--replay` path bypasses the cache (its bank comes from a file the
+//! spec digest cannot see).
+//!
 //! `--json` additionally emits one provenance JSON line per leg on
 //! stdout after the table. Malformed flag values are hard errors (exit
 //! status 2), never silent fallbacks — see [`asap_harness::args`].
 
-use asap_harness::args::{self, parse_arg};
+use asap_harness::args::{self, parse_arg, SweepArgs};
+use asap_harness::exec::{complete_outcomes, sweep_traffic};
 use asap_harness::traffic::{
-    run_traffic, run_traffic_bank, table_from_runs, TrafficApp, TrafficScale, TRAFFIC_HEADERS,
+    run_traffic_bank, table_from_runs, TrafficApp, TrafficScale, TRAFFIC_HEADERS,
 };
 use asap_harness::{pool, Table};
 use asap_sim_core::{Flavor, ModelKind};
@@ -60,12 +70,14 @@ fn main() {
              [--arrival fixed|poisson|bursty|diurnal] [--gap CYCLES] \
              [--requests N] [--update-fraction F] [--zipf THETA] [--seed N] \
              [--workers N] [--queue sharded|heap] [--json] [--csv] \
-             [--progress] [--emit-trace PATH] [--replay PATH]"
+             [--progress] [--emit-trace PATH] [--replay PATH] \
+             [--procs N] [--chunk N] [--cache-dir DIR] [--resume] [--shard i/n]"
         );
         return;
     }
 
-    let mut scale = if args::has_flag(&argv, "--full") {
+    let sa = SweepArgs::init();
+    let mut scale = if sa.full {
         TrafficScale::full()
     } else {
         TrafficScale::quick()
@@ -108,21 +120,8 @@ fn main() {
         }
         scale.zipf_theta = theta;
     }
-    if let Some(seed) = parse_arg::<u64>(&argv, "--seed") {
+    if let Some(seed) = sa.seed {
         scale.seed = seed;
-    }
-    if let Some(n) =
-        parse_arg::<usize>(&argv, "--workers").or_else(|| parse_arg::<usize>(&argv, "--threads"))
-    {
-        pool::set_worker_override(n);
-    }
-    if let Some(kind) = parse_arg::<asap_core::QueueKind>(&argv, "--queue")
-        .or_else(|| args::parse_env("ASAP_QUEUE"))
-    {
-        asap_core::set_default_queue_kind(kind);
-    }
-    if args::has_flag(&argv, "--progress") {
-        pool::set_progress(true);
     }
 
     if let Some(path) = args::arg_value(&argv, "--emit-trace") {
@@ -192,12 +191,17 @@ fn main() {
     }
 
     let specs = scale.specs();
-    let outs = pool::par_map(&specs, run_traffic);
-    asap_harness::cli_emit(&table_from_runs(&specs, &outs));
-    if args::has_flag(&argv, "--json") {
-        for (spec, out) in specs.iter().zip(&outs) {
-            println!("{}", out.to_json(spec));
+    let (results, report) = sweep_traffic("traffic", &specs, &sa);
+    if let Some(outs) = complete_outcomes(results) {
+        asap_harness::cli_emit(&table_from_runs(&specs, &outs));
+        if args::has_flag(&argv, "--json") {
+            for (spec, out) in specs.iter().zip(&outs) {
+                println!("{}", out.to_json(spec));
+            }
         }
+    } else {
+        eprintln!("# partial sweep (sharded): table suppressed");
     }
+    eprintln!("{}", report.summary());
     asap_harness::cli_footer(t0);
 }

@@ -187,14 +187,30 @@ pub fn fig08_specs(scale: ExperimentScale) -> Vec<RunSpec> {
 /// Figure 8: speedup over the Intel baseline for every model and
 /// workload in a 4-core, 2-MC system.
 pub fn fig08_performance(scale: ExperimentScale) -> Table {
+    let specs = fig08_specs(scale);
+    let outs = pool::par_map(&specs, run_once);
+    fig08_table_from(&outs)
+}
+
+/// Assemble the Figure 8 table from precomputed outcomes in
+/// [`fig08_specs`] order — shared by [`fig08_performance`] and the
+/// `asap_sweep` executor, whose legs may come from the outcome cache.
+///
+/// # Panics
+///
+/// Panics if `outs` is not one outcome per [`fig08_specs`] leg.
+pub fn fig08_table_from(outs: &[RunOutcome]) -> Table {
+    assert_eq!(
+        outs.len(),
+        bar_chart_workloads().len() * FIG8_MODELS.len(),
+        "one outcome per fig08 spec"
+    );
     let mut t = Table::new(
         "Figure 8: speedup over baseline (4 cores, 2 MCs)",
         &[
             "workload", "baseline", "hops_ep", "hops_rp", "asap_ep", "asap_rp", "eadr",
         ],
     );
-    let specs = fig08_specs(scale);
-    let outs = pool::par_map(&specs, run_once);
     let mut sums = [0.0f64; 6];
     let mut n = 0;
     for (w, models) in bar_chart_workloads()

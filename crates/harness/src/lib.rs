@@ -48,9 +48,12 @@
 #![deny(missing_docs)]
 
 pub mod args;
+pub mod cache;
+pub mod exec;
 pub mod experiments;
 pub mod hwcost;
 pub mod pool;
+pub mod proto;
 mod report;
 mod runner;
 pub mod traffic;
@@ -61,32 +64,18 @@ pub use runner::{
     RunManifest, RunOutcome, RunSpec,
 };
 
-/// Parse the shared CLI convention of the harness binaries:
-/// `--full` selects paper-scale runs (default: quick), `--seed N`
-/// overrides the RNG seed, `--threads N` pins the sweep worker
-/// count (default: `ASAP_THREADS` or all available cores; see
-/// [`pool::num_workers`]) and `--progress` enables the stderr
-/// `N/M jobs, ETA …` line ([`pool::set_progress`]).
+/// Parse the shared CLI convention of the harness binaries — one call
+/// to [`args::SweepArgs::init`], which handles `--full`, `--seed N`,
+/// `--threads N`/`--workers N` ([`pool::num_workers`]),
+/// `--queue sharded|heap`, `--progress` and the sweep-executor flags,
+/// then installs the process-global settings. Binaries that only need
+/// the scale (fig02–fig13) call this; binaries that also cache/fan out
+/// keep the returned [`args::SweepArgs`] via `SweepArgs::init()`.
 ///
 /// Malformed numeric values exit with status 2 and a diagnostic
 /// (see [`args`]) instead of silently running with defaults.
 pub fn cli_scale() -> experiments::ExperimentScale {
-    let argv: Vec<String> = std::env::args().collect();
-    let mut scale = if args::has_flag(&argv, "--full") {
-        experiments::ExperimentScale::full()
-    } else {
-        experiments::ExperimentScale::quick()
-    };
-    if let Some(s) = args::parse_arg(&argv, "--seed") {
-        scale.seed = s;
-    }
-    if let Some(n) = args::parse_arg(&argv, "--threads") {
-        pool::set_worker_override(n);
-    }
-    if args::has_flag(&argv, "--progress") {
-        pool::set_progress(true);
-    }
-    scale
+    args::SweepArgs::init().scale()
 }
 
 /// Print a wall-clock footer for a sweep binary on stderr (stdout stays

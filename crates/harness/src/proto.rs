@@ -1,0 +1,205 @@
+//! Coordinator ⇄ worker line protocol for multi-process sweeps.
+//!
+//! The coordinator re-executes its own binary `--procs` times with the
+//! original argv plus [`WORKER_FLAG`]; each child builds the identical
+//! spec list, then serves legs instead of running the sweep itself.
+//! Everything travels as text lines over the child's stdin/stdout
+//! (stderr is inherited, so worker diagnostics stay visible):
+//!
+//! ```text
+//! worker → ready <n_legs> <sweep_digest>     (handshake)
+//! coord  → chunk <i> <i> …                   (leg indices to run)
+//! worker → done <i> <payload>                (one line per leg)
+//! coord  → eof                               (drain and exit 0)
+//! ```
+//!
+//! The handshake digest folds every leg digest, so a worker that built
+//! a divergent spec list (version skew, env drift) is rejected before
+//! any result is merged. Work is stolen chunk-by-chunk from a shared
+//! atomic cursor — one coordinator thread per child claims the next
+//! chunk, sends it, and reads the `done` lines back — so fast workers
+//! drain more of the queue and the merge order never matters: the
+//! caller places each payload by its leg index (the `par_map`
+//! input-order contract, one level up).
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The internal CLI flag marking a process as a sweep worker child.
+pub const WORKER_FLAG: &str = "--sweep-worker";
+
+/// Serve sweep legs over stdin/stdout until `eof`, then exit. Called by
+/// `crate::exec::run_sweep` when [`WORKER_FLAG`] is present — the
+/// binary's `main` never sees the sweep again, so workers cannot print
+/// tables or spawn grandchildren. Protocol violations exit with status
+/// 3 (the coordinator reports the dead worker).
+pub fn serve_worker<O>(
+    n: usize,
+    sweep_digest: u64,
+    run: impl Fn(usize) -> O + Sync,
+    encode: impl Fn(&O) -> String,
+) -> !
+where
+    O: Send,
+{
+    // The coordinator owns the single aggregated progress line.
+    crate::pool::set_progress(false);
+    let mut input = BufReader::new(std::io::stdin());
+    let mut output = std::io::stdout();
+    let die = |msg: &str| -> ! {
+        eprintln!("error: sweep worker: {msg}");
+        std::process::exit(3);
+    };
+    writeln!(output, "ready {n} {sweep_digest:016x}").unwrap_or_else(|_| die("stdout closed"));
+    output.flush().unwrap_or_else(|_| die("stdout closed"));
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if input.read_line(&mut line).unwrap_or(0) == 0 {
+            break; // coordinator hung up: treat as eof
+        }
+        let msg = line.trim();
+        if msg == "eof" || msg.is_empty() {
+            break;
+        }
+        let Some(rest) = msg.strip_prefix("chunk ") else {
+            die(&format!("unexpected message '{msg}'"));
+        };
+        let idxs: Vec<usize> = rest
+            .split_whitespace()
+            .map(|t| match t.parse::<usize>() {
+                Ok(i) if i < n => i,
+                _ => die(&format!("bad leg index '{t}'")),
+            })
+            .collect();
+        let outs = crate::pool::par_map(&idxs, |&i| run(i));
+        for (&i, o) in idxs.iter().zip(&outs) {
+            let payload = encode(o);
+            debug_assert!(!payload.contains('\n'), "payloads must be one line");
+            writeln!(output, "done {i} {payload}").unwrap_or_else(|_| die("stdout closed"));
+        }
+        output.flush().unwrap_or_else(|_| die("stdout closed"));
+    }
+    std::process::exit(0);
+}
+
+/// Fan `todo` (leg indices into the sweep) out over `procs` child
+/// processes of the current executable, invoking `on_done(idx, payload)`
+/// for every completed leg (from multiple coordinator threads —
+/// `on_done` must synchronize internally). Returns the number of
+/// workers spawned, or the first worker/protocol error; on error some
+/// legs may not have been delivered (the caller checks completeness).
+pub fn coordinate(
+    worker_argv: &[String],
+    n: usize,
+    sweep_digest: u64,
+    todo: &[usize],
+    procs: usize,
+    chunk: usize,
+    on_done: &(dyn Fn(usize, &str) + Sync),
+) -> Result<usize, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own executable: {e}"))?;
+    let chunk = chunk.max(1);
+    let n_chunks = todo.len().div_ceil(chunk);
+    let procs = procs.min(n_chunks).max(1);
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..procs)
+            .map(|_| {
+                scope.spawn(|| -> Result<(), String> {
+                    let mut child = Command::new(&exe)
+                        .args(worker_argv)
+                        .stdin(Stdio::piped())
+                        .stdout(Stdio::piped())
+                        .spawn()
+                        .map_err(|e| format!("cannot spawn sweep worker: {e}"))?;
+                    let mut tx = child.stdin.take().expect("piped stdin");
+                    let mut rx = BufReader::new(child.stdout.take().expect("piped stdout"));
+
+                    let mut line = String::new();
+                    rx.read_line(&mut line)
+                        .map_err(|e| format!("worker handshake read: {e}"))?;
+                    let expect_n = n.to_string();
+                    let expect_digest = format!("{sweep_digest:016x}");
+                    let mut it = line.split_whitespace();
+                    let ok = it.next() == Some("ready")
+                        && it.next() == Some(expect_n.as_str())
+                        && it.next() == Some(expect_digest.as_str())
+                        && it.next().is_none();
+                    if !ok {
+                        let _ = child.kill();
+                        return Err(format!(
+                            "worker handshake mismatch (got '{}'): divergent spec list?",
+                            line.trim()
+                        ));
+                    }
+
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let legs = &todo[c * chunk..((c + 1) * chunk).min(todo.len())];
+                        let msg = legs
+                            .iter()
+                            .map(|i| i.to_string())
+                            .collect::<Vec<_>>()
+                            .join(" ");
+                        writeln!(tx, "chunk {msg}").map_err(|e| format!("worker write: {e}"))?;
+                        for _ in legs {
+                            line.clear();
+                            if rx
+                                .read_line(&mut line)
+                                .map_err(|e| format!("worker read: {e}"))?
+                                == 0
+                            {
+                                return Err("worker exited mid-chunk".to_string());
+                            }
+                            let rest = line
+                                .trim_end_matches('\n')
+                                .strip_prefix("done ")
+                                .ok_or_else(|| {
+                                    format!("unexpected worker message '{}'", line.trim())
+                                })?;
+                            let (idx, payload) = rest
+                                .split_once(' ')
+                                .ok_or_else(|| format!("malformed done line '{rest}'"))?;
+                            let idx: usize = idx
+                                .parse()
+                                .ok()
+                                .filter(|i| legs.contains(i))
+                                .ok_or_else(|| format!("worker returned stray leg '{idx}'"))?;
+                            on_done(idx, payload);
+                        }
+                    }
+                    let _ = writeln!(tx, "eof");
+                    drop(tx);
+                    let status = child.wait().map_err(|e| format!("worker wait: {e}"))?;
+                    if !status.success() {
+                        return Err(format!("worker exited with {status}"));
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+
+        let mut first_err = None;
+        for h in handles {
+            match h.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    first_err.get_or_insert(e);
+                }
+                Err(_) => {
+                    first_err.get_or_insert("coordinator thread panicked".to_string());
+                }
+            }
+        }
+        match first_err {
+            None => Ok(procs),
+            Some(e) => Err(e),
+        }
+    })
+}

@@ -189,6 +189,63 @@ impl LogHistogram {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+
+    /// The non-empty `(bucket_index, count)` pairs in ascending index
+    /// order — a sparse view for exact serialization (the outcome cache
+    /// round-trips histograms through [`LogHistogram::from_parts`]).
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(b, &c)| (b, c))
+            .collect()
+    }
+
+    /// Exact sum of all recorded samples (the numerator of
+    /// [`LogHistogram::mean`]).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// The raw internal minimum: `u64::MAX` when empty, unlike the
+    /// 0-reporting [`LogHistogram::min`]. Paired with
+    /// [`LogHistogram::from_parts`] for lossless reconstruction.
+    pub fn min_raw(&self) -> u64 {
+        self.min
+    }
+
+    /// Rebuild a histogram from its sparse serialized form: the
+    /// [`LogHistogram::nonzero_buckets`] pairs plus the exact aggregates
+    /// (`sum`, the raw minimum, the maximum). Returns `None` when the
+    /// parts are not a histogram any record stream could have produced
+    /// (bucket index out of range, zero or overflowing count, aggregates
+    /// inconsistent with emptiness) — the cache treats that as a miss.
+    pub fn from_parts(
+        buckets: &[(usize, u64)],
+        sum: u128,
+        min_raw: u64,
+        max: u64,
+    ) -> Option<LogHistogram> {
+        let mut h = LogHistogram::new();
+        for &(b, c) in buckets {
+            if b >= NUM_BUCKETS || c == 0 {
+                return None;
+            }
+            h.counts[b] = h.counts[b].checked_add(c)?;
+            h.total = h.total.checked_add(c)?;
+        }
+        if h.total == 0 && (sum != 0 || min_raw != u64::MAX || max != 0) {
+            return None;
+        }
+        if h.total > 0 && min_raw > max {
+            return None;
+        }
+        h.sum = sum;
+        h.min = min_raw;
+        h.max = max;
+        Some(h)
+    }
 }
 
 /// Per-request latency decomposition: a request's total sojourn time is
@@ -363,6 +420,39 @@ mod tests {
         // p0/p100-style queries never leave the observed range.
         assert!(h.percentile(0.0) >= h.min());
         assert!(h.percentile(100.0) <= h.max());
+    }
+
+    #[test]
+    fn parts_round_trip_exactly() {
+        let mut h = LogHistogram::new();
+        for &v in &[0u64, 3, 63, 64, 700, 1_000_003, u64::MAX / 5] {
+            h.record(v);
+        }
+        h.record_n(99, 4);
+        let rebuilt =
+            LogHistogram::from_parts(&h.nonzero_buckets(), h.sum(), h.min_raw(), h.max()).unwrap();
+        assert_eq!(rebuilt, h, "sparse parts must reconstruct exactly");
+
+        // The empty histogram round-trips too.
+        let e = LogHistogram::new();
+        let rebuilt =
+            LogHistogram::from_parts(&e.nonzero_buckets(), e.sum(), e.min_raw(), e.max()).unwrap();
+        assert_eq!(rebuilt, e);
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_input() {
+        // Bucket index out of range.
+        assert!(LogHistogram::from_parts(&[(NUM_BUCKETS, 1)], 0, 0, 0).is_none());
+        // Zero count is not produceable by any record stream.
+        assert!(LogHistogram::from_parts(&[(3, 0)], 3, 3, 3).is_none());
+        // Empty buckets with non-empty aggregates.
+        assert!(LogHistogram::from_parts(&[], 7, u64::MAX, 0).is_none());
+        assert!(LogHistogram::from_parts(&[], 0, 3, 3).is_none());
+        // min > max on a non-empty histogram.
+        assert!(LogHistogram::from_parts(&[(3, 1)], 3, 9, 3).is_none());
+        // Total overflow.
+        assert!(LogHistogram::from_parts(&[(1, u64::MAX), (2, 1)], 0, 1, 2).is_none());
     }
 
     #[test]

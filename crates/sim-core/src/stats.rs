@@ -111,6 +111,30 @@ impl Histogram {
             self.record_weighted(v, c);
         }
     }
+
+    /// The non-empty `(value, count)` pairs in ascending value order — a
+    /// sparse view for exact serialization. Because no operation ever
+    /// leaves a trailing zero bucket (the counts vector only grows when
+    /// a bucket is actually hit), [`Histogram::from_buckets`] over this
+    /// view reconstructs a structurally identical histogram.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(v, &c)| (v, c))
+            .collect()
+    }
+
+    /// Rebuild a histogram from sparse `(value, count)` pairs (zero
+    /// counts are ignored, mirroring [`Histogram::record_weighted`]).
+    pub fn from_buckets(buckets: &[(usize, u64)]) -> Histogram {
+        let mut h = Histogram::new();
+        for &(v, c) in buckets {
+            h.record_weighted(v, c);
+        }
+        h
+    }
 }
 
 /// Streaming mean/max tracker for unbounded quantities.
@@ -483,6 +507,19 @@ mod tests {
         let mut a_bc = a.clone();
         a_bc.merge(&bc);
         assert_eq!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn histogram_buckets_round_trip_exactly() {
+        let mut h = Histogram::new();
+        h.record_weighted(0, 90);
+        h.record_weighted(10, 10);
+        h.record(3);
+        let rebuilt = Histogram::from_buckets(&h.nonzero_buckets());
+        assert_eq!(rebuilt, h, "sparse buckets must reconstruct exactly");
+        // Empty round-trips, and zero counts are ignored.
+        assert_eq!(Histogram::from_buckets(&[]), Histogram::new());
+        assert_eq!(Histogram::from_buckets(&[(5, 0)]), Histogram::new());
     }
 
     #[test]
